@@ -1,0 +1,178 @@
+"""EXP-ABL — ablations of the design choices DESIGN.md calls out.
+
+* **Dedup scheme**: iteration markers vs the §III-B separate-resend-tag
+  channel — correctness is identical for the ring; the table compares
+  message counts and discarded-duplicate work under the Fig. 8 scenario.
+* **Detection latency**: how the detector's lag changes the repair
+  pattern (preempted in-flight message vs consumed-then-deduped
+  duplicate) while end-to-end correctness stays intact.
+* **Watchdog**: the Fig. 9 receive with the watchdog suppressed is
+  exactly the naive receive — quantifying what the single posted Irecv
+  buys (hang rate goes from majority to zero).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table, message_stats
+from repro.core import RingConfig, RingVariant, Termination
+from repro.faults import KillAtProbe
+from conftest import emit, run_ring_scenario, timed
+
+N = 4
+ITERS = 4
+SCENARIO = dict(rank=2, probe="post_send", hit=2)
+
+
+def bench_ablation_dedup_scheme(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for label, variant in (("markers (same tag)", RingVariant.FT_MARKER),
+                               ("split resend tag", RingVariant.FT_TAGGED)):
+            cfg = RingConfig(max_iter=ITERS, variant=variant,
+                             termination=Termination.ROOT_BCAST)
+            r = run_ring_scenario(
+                cfg, N, injectors=[KillAtProbe(**SCENARIO)],
+                detection_latency=2e-6,
+            )
+            markers = [m for m, _v in r.value(0)["root_completions"]]
+            discarded = sum(r.value(i)["duplicates_discarded"]
+                            for i in r.completed_ranks)
+            rows.append([label, markers == list(range(ITERS)), discarded,
+                         message_stats(r).sends])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Ablation: marker dedup vs separate resend tag (Fig. 8 scenario)",
+        ascii_table(
+            ["dedup scheme", "clean completions", "dups discarded",
+             "messages"],
+            rows,
+        ),
+    )
+    assert all(clean for _l, clean, _d, _m in rows)
+
+
+def bench_ablation_detection_latency(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for lat in (0.0, 1e-6, 2e-6, 4e-6):
+            cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_MARKER,
+                             termination=Termination.VALIDATE_ALL)
+            r = run_ring_scenario(
+                cfg, N, injectors=[KillAtProbe(**SCENARIO)],
+                detection_latency=lat,
+            )
+            resends = sum(r.value(i)["resends"] for i in r.completed_ranks)
+            discarded = sum(r.value(i)["duplicates_discarded"]
+                            for i in r.completed_ranks)
+            drops = message_stats(r).drops
+            rows.append([lat, not r.hung, resends, discarded, drops,
+                         r.final_time])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Ablation: perfect-detector latency (Fig. 8 scenario, markers on)",
+        ascii_table(
+            ["detect latency", "ran through", "resends", "dups discarded",
+             "msgs dropped", "virt time"],
+            rows,
+        ),
+    )
+    assert all(through for _l, through, *_rest in rows)
+    # Slower detection shifts work from preemption (dropped messages /
+    # erroring receives) to dedup (consumed duplicates).
+    assert rows[-1][3] >= rows[0][3]
+
+
+def bench_ablation_ibarrier_termination(benchmark):
+    """§III-C's rejected ibarrier-retry termination, demonstrated.
+
+    Failure-free it works (and beats validate_all on messages); a
+    mid-loop failure forces the consensus fallback; a failure during the
+    termination phase splits the ranks between paths and *hangs* — the
+    paper's reason to reject the scheme, proven by the deadlock detector.
+    """
+    rows = []
+
+    def run_all():
+        rows.clear()
+        # Failure-free.
+        cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_MARKER,
+                         termination=Termination.IBARRIER)
+        r = run_ring_scenario(cfg, N)
+        rows.append(["failure-free", not r.hung,
+                     {r.value(i)["termination_path"]
+                      for i in r.completed_ranks},
+                     message_stats(r).sends])
+        # Mid-loop failure: consensus fallback.
+        cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_MARKER,
+                         termination=Termination.IBARRIER)
+        r = run_ring_scenario(
+            cfg, N, injectors=[KillAtProbe(rank=2, probe="post_recv", hit=2)]
+        )
+        rows.append(["mid-loop failure", not r.hung,
+                     {r.value(i)["termination_path"]
+                      for i in r.completed_ranks},
+                     message_stats(r).sends])
+        # Termination-phase failure: split paths, proven hang.
+        cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_MARKER,
+                         termination=Termination.IBARRIER)
+        r = run_ring_scenario(
+            cfg, N,
+            injectors=[KillAtProbe(rank=2, probe="pre_termination", hit=1)],
+        )
+        rows.append(["termination-phase failure", not r.hung,
+                     "(split)" if r.hung else "-", message_stats(r).sends])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Ablation: ibarrier-retry termination (the §III-C rejected scheme)",
+        ascii_table(
+            ["scenario", "ran through", "termination paths", "messages"],
+            rows,
+        ),
+    )
+    assert rows[0][1] and rows[0][2] == {"ibarrier"}
+    assert rows[1][1] and rows[1][2] == {"fallback"}
+    assert not rows[2][1]  # the split hang — why the paper rejects it
+
+
+def bench_ablation_watchdog(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for label, variant in (("with watchdog (Fig. 9)",
+                                RingVariant.FT_MARKER),
+                               ("without watchdog (naive)",
+                                RingVariant.NAIVE)):
+            hangs = windows = 0
+            for rank in (1, 2, 3):
+                for hit in range(1, ITERS + 1):
+                    cfg = RingConfig(max_iter=ITERS, variant=variant,
+                                     termination=Termination.ROOT_BCAST)
+                    r = run_ring_scenario(
+                        cfg, N,
+                        injectors=[KillAtProbe(rank=rank, probe="post_recv",
+                                               hit=hit)],
+                    )
+                    windows += 1
+                    hangs += bool(r.hung)
+            rows.append([label, windows, hangs])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Ablation: the watchdog Irecv (hang rate over control-loss windows)",
+        ascii_table(["receive design", "windows", "hangs"], rows),
+    )
+    with_wd, without_wd = rows
+    assert with_wd[2] == 0
+    assert without_wd[2] > 0

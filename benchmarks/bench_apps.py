@@ -1,0 +1,201 @@
+"""EXP-APPS — the domain applications under failure, quantified.
+
+The paper argues its ring lessons generalize ("a common set of issues
+that application developers must address ... regardless of their research
+domain").  These rows measure the three bundled applications with and
+without failures:
+
+* heat diffusion: accuracy degradation (L2 error vs the failure-free
+  reference on surviving subdomains) as ranks die;
+* ring allreduce: contributor shrinkage and agreement;
+* manager/worker: completion and reassignment cost as workers die.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.apps import (
+    AbftConfig,
+    AllreduceConfig,
+    FarmConfig,
+    HeatConfig,
+    expected_results,
+    expected_sum,
+    make_abft_main,
+    make_allreduce_main,
+    make_farm_mains,
+    make_heat_main,
+    reference_result,
+)
+from repro.faults import KillAtProbe, KillAtTime
+from repro.simmpi import Simulation
+from conftest import emit, timed
+
+N = 6
+
+
+def _heat_fields(result) -> dict[int, np.ndarray]:
+    return {
+        i: np.array(result.value(i)["field"]) for i in result.completed_ranks
+    }
+
+
+def bench_apps_heat_degradation(benchmark):
+    cfg = HeatConfig(cells_per_rank=8, steps=20)
+    rows = []
+
+    def run_all():
+        rows.clear()
+        ref = Simulation(nprocs=N).run(make_heat_main(cfg))
+        ref_fields = _heat_fields(ref)
+        for kills in ([], [(2, 8.5e-6)], [(2, 8.5e-6), (4, 14.5e-6)]):
+            sim = Simulation(nprocs=N)
+            for rank, t in kills:
+                sim.kill(rank, at_time=t)
+            r = sim.run(make_heat_main(cfg), on_deadlock="return")
+            fields = _heat_fields(r)
+            err = 0.0
+            for i, f in fields.items():
+                err += float(np.sum((f - ref_fields[i]) ** 2))
+            err = float(np.sqrt(err))
+            rows.append([len(kills), not r.hung, len(fields), err])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Heat diffusion: survivors' L2 deviation from failure-free reference",
+        ascii_table(
+            ["failures", "ran through", "survivors", "L2 error"], rows
+        ),
+    )
+    assert rows[0][3] == 0.0  # no failure, no deviation
+    assert rows[1][3] > 0.0   # degraded, not destroyed
+    assert all(through for _f, through, _s, _e in rows)
+    assert rows[1][3] <= rows[2][3] + 1e-9  # more failures, no less error
+
+
+def bench_apps_allreduce_contributors(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for nfail in (0, 1, 2):
+            cfg = AllreduceConfig(vector_len=8)
+            sim = Simulation(nprocs=N)
+            injectors = [
+                KillAtProbe(rank=2 + j, probe="post_recv", hit=1)
+                for j in range(nfail)
+            ]
+            for inj in injectors:
+                sim.add_injector(inj)
+            r = sim.run(make_allreduce_main(cfg), on_deadlock="return")
+            recs = [r.value(i)["allreduce"][0] for i in r.completed_ranks]
+            contributors = recs[0]["contributors"]
+            agreed = all(rec["sum"] == recs[0]["sum"] for rec in recs)
+            correct = recs[0]["sum"] == expected_sum(contributors, 8)
+            rows.append([nfail, not r.hung, len(contributors), agreed,
+                         correct])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "FT ring allreduce: contributors and agreement vs failures",
+        ascii_table(
+            ["failures", "ran through", "contributors", "survivors agree",
+             "sum matches contributors"],
+            rows,
+        ),
+    )
+    assert all(through and agreed and correct
+               for _f, through, _c, agreed, correct in rows)
+    assert [c for _f, _t, c, _a, _co in rows] == [N, N - 1, N - 2]
+
+
+def bench_apps_abft_recovery(benchmark):
+    rows = []
+    cfg = AbftConfig(iterations=5)
+    nprocs = 5  # 4 compute + 1 parity
+
+    def _exact(r) -> bool:
+        rep = r.value(min(r.completed_ranks))
+        for it in range(cfg.iterations):
+            ref = reference_result(cfg, nprocs, it)
+            got = rep["results"][it]["blocks"]
+            if not all(
+                k in got and np.allclose(got[k], ref[k]) for k in ref
+            ):
+                return False
+        return True
+
+    def run_all():
+        rows.clear()
+        scenarios = [
+            ("failure-free", []),
+            ("1 compute dies", [KillAtProbe(rank=2, probe="computed", hit=3)]),
+            ("parity dies", [KillAtProbe(rank=4, probe="computed", hit=3)]),
+            ("2 compute die", [
+                KillAtProbe(rank=1, probe="computed", hit=3),
+                KillAtProbe(rank=2, probe="computed", hit=3),
+            ]),
+        ]
+        for name, injectors in scenarios:
+            sim = Simulation(nprocs=nprocs)
+            for inj in injectors:
+                sim.add_injector(inj)
+            r = sim.run(make_abft_main(cfg), on_deadlock="return")
+            rep = r.value(min(r.completed_ranks))
+            rows.append([name, not r.hung, _exact(r), rep["recoveries"],
+                         rep["degraded"]])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "ABFT matvec: parity recovery vs failure scenarios (4+1 ranks)",
+        ascii_table(
+            ["scenario", "ran through", "all blocks exact", "recoveries",
+             "degraded"],
+            rows,
+        ),
+    )
+    by = {row[0]: row for row in rows}
+    assert by["failure-free"][2] and by["failure-free"][3] == 0
+    assert by["1 compute dies"][2] and by["1 compute dies"][3] >= 1
+    assert by["parity dies"][2]          # data intact, redundancy gone
+    assert by["2 compute die"][4]        # beyond the code's strength
+
+
+def bench_apps_farm_reassignment(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for nfail in (0, 1, 2):
+            cfg = FarmConfig(num_tasks=18, work_per_task=1e-6)
+            sim = Simulation(nprocs=N)
+            for j in range(nfail):
+                sim.add_injector(
+                    KillAtProbe(rank=1 + j, probe="task_computed", hit=2)
+                )
+            r = sim.run(make_farm_mains(cfg, N), on_deadlock="return")
+            rep = r.value(0)
+            rows.append([
+                nfail, not r.hung,
+                rep["results"] == expected_results(cfg),
+                rep["reassignments"], r.final_time,
+            ])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Manager/worker farm: completeness and reassignments vs failures",
+        ascii_table(
+            ["worker deaths", "ran through", "all tasks correct",
+             "reassignments", "virt time"],
+            rows,
+        ),
+    )
+    assert all(through and correct for _f, through, correct, _r, _t in rows)
+    # Losing workers costs time, never answers.
+    assert rows[-1][4] >= rows[0][4]

@@ -1,0 +1,89 @@
+"""EXP-F11 — paper Fig. 11: root-broadcast termination detection.
+
+Regenerates the scheme's contract across ring sizes and failure counts:
+
+* with 0..k non-root failures, every survivor leaves the termination
+  phase (the watchdog keeps servicing resends while waiting for ``T_D``);
+* root death during the termination wait makes the survivors abort
+  (Fig. 11 line 24) — the scheme's documented limitation;
+* message cost: the root sends exactly ``size - 1`` termination messages
+  (linear broadcast), measured from the trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.core import RingConfig, RingVariant, Termination
+from repro.core.messages import TAG_DONE
+from repro.faults import KillAtProbe
+from repro.simmpi import TraceKind
+from conftest import emit, run_ring_scenario, timed
+
+ITERS = 3
+
+
+def _done_msgs(result) -> int:
+    return result.trace.count(TraceKind.SEND_POST, tag=TAG_DONE)
+
+
+def bench_fig11_nonroot_failures(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n in (4, 8, 12):
+            for nfail in (0, 1, 2):
+                cfg = RingConfig(max_iter=ITERS,
+                                 variant=RingVariant.FT_MARKER,
+                                 termination=Termination.ROOT_BCAST)
+                injectors = [
+                    KillAtProbe(rank=1 + 2 * j, probe="post_recv", hit=2)
+                    for j in range(nfail)
+                ]
+                r = run_ring_scenario(cfg, n, injectors=injectors)
+                survivors = set(range(n)) - r.failed_ranks
+                rows.append([
+                    n, len(r.failed_ranks), not r.hung,
+                    set(r.completed_ranks) == survivors,
+                    _done_msgs(r),
+                ])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 11 root-broadcast termination under non-root failures",
+        ascii_table(
+            ["ranks", "failures", "ran through", "all survivors finished",
+             "T_D messages"],
+            rows,
+        ),
+    )
+    for n, nfail, through, finished, msgs in rows:
+        assert through and finished
+        # Linear broadcast to every *reachable* rank: sends to known-dead
+        # ranks fail locally ("Ignore fail.") and never hit the wire.
+        assert msgs == n - 1 - nfail
+
+
+def bench_fig11_root_death_aborts(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n in (4, 8):
+            cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_MARKER,
+                             termination=Termination.ROOT_BCAST)
+            r = run_ring_scenario(
+                cfg, n,
+                injectors=[KillAtProbe(rank=0, probe="pre_termination",
+                                       hit=1)],
+            )
+            rows.append([n, r.aborted is not None])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 11 root dies before broadcasting T_D",
+        ascii_table(["ranks", "survivors abort (by design)"], rows),
+    )
+    assert all(aborted for _n, aborted in rows)

@@ -1,0 +1,77 @@
+"""EXP-F12 — paper Fig. 12: the leader election algorithm.
+
+Regenerates the election's contract — the new root is the lowest alive
+rank — over failure prefixes of increasing length and scattered failure
+sets, and measures the (local, communication-free) cost of an election
+call as MPI-call counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.core import get_current_root
+from repro.simmpi import ErrorHandler, Simulation
+from conftest import emit, timed
+
+N = 10
+
+
+def _elect_with_failed(failed: list[int]):
+    def main(mpi):
+        comm = mpi.comm_world
+        comm.set_errhandler(ErrorHandler.ERRORS_RETURN)
+        if comm.rank in failed:
+            mpi.compute(1.0)
+            return
+        mpi.compute(2.0)
+        return get_current_root(comm)
+
+    sim = Simulation(nprocs=N)
+    for i, rank in enumerate(failed):
+        sim.kill(rank, at_time=0.01 * (i + 1))
+    return sim.run(main, on_deadlock="return")
+
+
+def bench_fig12_lowest_alive_wins(benchmark):
+    cases = {
+        "no failures": [],
+        "root only": [0],
+        "prefix of 3": [0, 1, 2],
+        "scattered": [0, 3, 7],
+        "all but highest": list(range(N - 1)),
+    }
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for name, failed in cases.items():
+            r = _elect_with_failed(failed)
+            expected = min(set(range(N)) - set(failed))
+            elected = {r.value(i) for i in r.completed_ranks}
+            rows.append([name, failed, expected,
+                         elected == {expected}])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 12 leader election (lowest alive rank)",
+        ascii_table(
+            ["failure set", "failed ranks", "expected root",
+             "all survivors agree"],
+            rows,
+        ),
+    )
+    assert all(agree for *_x, agree in rows)
+
+
+def bench_fig12_election_is_local(benchmark):
+    # The election consults only local failure knowledge: no messages.
+    def run():
+        r = _elect_with_failed([0, 1])
+        from repro.simmpi import TraceKind
+
+        return len(r.trace.filter(kind=TraceKind.SEND_POST))
+
+    sends = timed(benchmark, run)
+    emit("Fig. 12 election message cost", f"messages sent by election: {sends}")
+    assert sends == 0

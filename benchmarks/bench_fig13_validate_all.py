@@ -1,0 +1,119 @@
+"""EXP-F13 — paper Fig. 13: consensus-based termination detection.
+
+Regenerates the scheme the paper builds to escape the fragile reliable
+broadcast: every rank (root included) enters the non-blocking collective
+validate and services resends while it waits.  Rows:
+
+* survives 0..k non-root failures, and — combined with the §III-D driver
+  — root failure too (the case Fig. 11 aborts on);
+* side-by-side with Fig. 11 on the same failure scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.core import RingConfig, RingVariant, Termination
+from repro.faults import KillAtProbe
+from conftest import emit, run_ring_scenario, timed
+
+ITERS = 3
+
+
+def bench_fig13_nonroot_failures(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n in (4, 8, 12):
+            for nfail in (0, 1, 2):
+                cfg = RingConfig(max_iter=ITERS,
+                                 variant=RingVariant.FT_MARKER,
+                                 termination=Termination.VALIDATE_ALL)
+                injectors = [
+                    KillAtProbe(rank=1 + 2 * j, probe="post_recv", hit=2)
+                    for j in range(nfail)
+                ]
+                r = run_ring_scenario(cfg, n, injectors=injectors)
+                survivors = set(range(n)) - r.failed_ranks
+                rows.append([n, nfail, not r.hung,
+                             set(r.completed_ranks) == survivors])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 13 validate_all termination under non-root failures",
+        ascii_table(
+            ["ranks", "failures", "ran through", "all survivors finished"],
+            rows,
+        ),
+    )
+    assert all(through and fin for _n, _f, through, fin in rows)
+
+
+def bench_fig13_root_failure_with_rootft(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for window, hit in (("root_post_send", 2), ("root_post_recv", 2),
+                            ("pre_termination", 1)):
+            cfg = RingConfig(max_iter=4)
+            r = run_ring_scenario(
+                cfg, 5, rootft=True,
+                injectors=[KillAtProbe(rank=0, probe=window, hit=hit)],
+            )
+            markers = []
+            for i in r.completed_ranks:
+                markers.extend(m for m, _v in r.value(i)["root_completions"])
+            # Full progress: the last iteration either completed at a
+            # surviving root, or every survivor forwarded all 4 markers
+            # (its record died with the old root — §III-D semantics).
+            progressed = max(markers, default=-1) == 3 or all(
+                r.value(i)["cur_marker"] == 4 for i in r.completed_ranks
+            )
+            rows.append([f"{window}#{hit}", not r.hung,
+                         r.aborted is None, progressed])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 13 + §III-D: root dies, ring still terminates",
+        ascii_table(
+            ["root death window", "ran through", "no abort",
+             "full progress"],
+            rows,
+        ),
+    )
+    assert all(through and no_abort and progressed
+               for _w, through, no_abort, progressed in rows)
+
+
+def bench_fig13_vs_fig11_contract(benchmark):
+    # The two schemes on the same root-death scenario: Fig. 11 aborts,
+    # Fig. 13 (+ §III-D) runs through.
+    def run_pair():
+        out = {}
+        cfg11 = RingConfig(max_iter=ITERS, variant=RingVariant.FT_MARKER,
+                           termination=Termination.ROOT_BCAST)
+        r11 = run_ring_scenario(
+            cfg11, 4,
+            injectors=[KillAtProbe(rank=0, probe="pre_termination", hit=1)],
+        )
+        out["fig11 root_bcast"] = ("aborted" if r11.aborted else
+                                   "hung" if r11.hung else "ran through")
+        cfg13 = RingConfig(max_iter=ITERS)
+        r13 = run_ring_scenario(
+            cfg13, 4, rootft=True,
+            injectors=[KillAtProbe(rank=0, probe="pre_termination", hit=1)],
+        )
+        out["fig13 validate_all"] = ("aborted" if r13.aborted else
+                                     "hung" if r13.hung else "ran through")
+        return out
+
+    out = timed(benchmark, run_pair)
+    emit(
+        "Root dies at termination: Fig. 11 vs Fig. 13 termination",
+        ascii_table(["scheme", "outcome"], list(out.items())),
+    )
+    assert out["fig11 root_bcast"] == "aborted"
+    assert out["fig13 validate_all"] == "ran through"

@@ -1,0 +1,72 @@
+"""EXP-F2 — paper Fig. 2: the traditional fault-unaware ring.
+
+Regenerates the baseline's two defining behaviours:
+
+* failure-free, the ring completes with the full accumulated value
+  (``value == nprocs`` at the root every iteration), and per-iteration
+  virtual latency scales linearly with the ring size;
+* with any single failure, the whole job aborts
+  (``MPI_ERRORS_ARE_FATAL``), at every size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.core import RingConfig, RingVariant
+from repro.faults import KillAtTime
+from conftest import emit, run_ring_scenario, timed
+
+SIZES = [4, 8, 16, 32]
+ITERS = 10
+
+
+def bench_fig2_failure_free(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n in SIZES:
+            cfg = RingConfig(max_iter=ITERS, variant=RingVariant.BASELINE)
+            r = run_ring_scenario(cfg, n)
+            comp = r.value(0)["root_completions"]
+            rows.append(
+                [n, ITERS, comp[-1][1], r.final_time / ITERS, r.final_time]
+            )
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 2 baseline ring, failure-free",
+        ascii_table(
+            ["ranks", "iters", "final value", "virt time/iter", "virt total"],
+            rows,
+        ),
+    )
+    for (n, _it, value, per_iter, _tot), (n2, _it2, _v2, per_iter2, _t2) in zip(
+        rows, rows[1:]
+    ):
+        assert value == n  # full circle accumulates one increment per rank
+        assert per_iter2 > per_iter  # latency grows with ring size
+
+
+def bench_fig2_single_failure_aborts(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n in SIZES:
+            cfg = RingConfig(
+                max_iter=50, variant=RingVariant.BASELINE, work_per_iter=1e-6
+            )
+            r = run_ring_scenario(
+                cfg, n, injectors=[KillAtTime(rank=n // 2, time=5e-6)]
+            )
+            rows.append([n, r.aborted is not None, r.failed_ranks and True])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 2 baseline ring, one failure (ERRORS_ARE_FATAL)",
+        ascii_table(["ranks", "job aborted", "failure injected"], rows),
+    )
+    assert all(aborted for _n, aborted, _f in rows)

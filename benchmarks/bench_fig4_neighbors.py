@@ -1,0 +1,78 @@
+"""EXP-F4 — paper Fig. 4: fault-aware neighbor selection.
+
+Regenerates the behaviour of ``to_left_of`` / ``to_right_of``: the walk
+skips exactly the failed ranks (any count, any placement), and a process
+that finds itself alone aborts the job.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.core import to_left_of, to_right_of
+from repro.simmpi import ErrorHandler, Simulation
+from conftest import emit, timed
+
+N = 12
+
+
+def _run_with_failed(failed: list[int]):
+    def main(mpi):
+        comm = mpi.comm_world
+        comm.set_errhandler(ErrorHandler.ERRORS_RETURN)
+        if comm.rank in failed:
+            mpi.compute(1.0)
+            return
+        mpi.compute(2.0)
+        return (to_right_of(comm, comm.rank), to_left_of(comm, comm.rank))
+
+    sim = Simulation(nprocs=N)
+    for i, rank in enumerate(failed):
+        # Stagger kills inside every victim's compute window (< 1.0).
+        sim.kill(rank, at_time=0.01 * (i + 1))
+    return sim.run(main, on_deadlock="return")
+
+
+def bench_fig4_skip_patterns(benchmark):
+    patterns = {
+        "one failure": [5],
+        "pair adjacent": [5, 6],
+        "run of four": [3, 4, 5, 6],
+        "alternating": [1, 3, 5, 7, 9, 11],
+        "all but two": [r for r in range(N) if r not in (0, 7)],
+    }
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for name, failed in patterns.items():
+            r = _run_with_failed(failed)
+            alive = sorted(set(range(N)) - set(failed))
+            ok = True
+            for rank in alive:
+                right, left = r.value(rank)
+                i = alive.index(rank)
+                ok &= right == alive[(i + 1) % len(alive)]
+                ok &= left == alive[(i - 1) % len(alive)]
+            rows.append([name, len(failed), len(alive), ok])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 4 neighbor selection over failure patterns",
+        ascii_table(["pattern", "failed", "alive", "ring closed correctly"],
+                    rows),
+    )
+    assert all(ok for *_rest, ok in rows)
+
+
+def bench_fig4_alone_aborts(benchmark):
+    def run():
+        r = _run_with_failed(list(range(1, N)))
+        return r
+
+    r = timed(benchmark, run)
+    emit(
+        "Fig. 4 sole survivor",
+        f"survivor rank 0 called MPI_Abort: {r.aborted is not None}",
+    )
+    assert r.aborted is not None

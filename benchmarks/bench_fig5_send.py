@@ -1,0 +1,52 @@
+"""EXP-F5 — paper Fig. 5: ``FT_Send_right`` re-targeting.
+
+Regenerates the send-side repair: with ``k`` consecutive failed right
+neighbors, the sender retargets exactly ``k`` times and the ring still
+completes every iteration.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.core import RingConfig, RingVariant, Termination
+from repro.faults import KillAtProbe
+from conftest import emit, run_ring_scenario, timed
+
+N = 8
+ITERS = 4
+
+
+def bench_fig5_retarget_k_failures(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for k in (1, 2, 3, 4):
+            cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_MARKER,
+                             termination=Termination.VALIDATE_ALL)
+            injectors = [
+                KillAtProbe(rank=2 + j, probe="post_send", hit=1)
+                for j in range(k)
+            ]
+            r = run_ring_scenario(cfg, N, injectors=injectors)
+            rep1 = r.value(1)  # the rank immediately left of the dead run
+            markers = [m for m, _v in r.value(0)["root_completions"]]
+            rows.append(
+                [k, rep1["right"], rep1["right_retargets"],
+                 markers == list(range(ITERS)), r.hung]
+            )
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 5 FT_Send_right across k consecutive failures (ranks 2..2+k-1)",
+        ascii_table(
+            ["k failed", "rank1 new right", "rank1 retargets",
+             "all iters complete", "hung"],
+            rows,
+        ),
+    )
+    for k, new_right, retargets, complete, hung in rows:
+        assert new_right == 2 + k  # skipped the whole dead run
+        assert retargets >= k
+        assert complete and not hung

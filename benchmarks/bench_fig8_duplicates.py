@@ -1,0 +1,88 @@
+"""EXP-F8 — paper Fig. 8: resends duplicate messages without dedup control.
+
+Regenerates the duplicate-completion pathology: the victim dies *after*
+forwarding; the upstream watchdog (correctly) resends; the downstream rank
+has already forwarded the original and — without iteration markers —
+forwards the resend as if it were the next iteration.  The root then
+completes the same iteration twice and the final iteration is starved.
+
+The duplicate needs the failure detector to lag the wire (the paper's
+sequence has P3 consume P2's message before P1 notices P2's death), so
+the scenario is swept over detection latencies: at zero latency the
+pending-receive sweep preempts the in-flight message and no duplicate can
+form; past one hop latency the duplicate appears consistently.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.core import RingConfig, RingVariant, Termination
+from repro.faults import KillAtProbe
+from conftest import emit, run_ring_scenario, timed
+
+N = 4
+ITERS = 4
+LATENCIES = [0.0, 5e-7, 1e-6, 2e-6, 3e-6]
+
+
+def _dup_stats(lat: float) -> tuple[list[int], int]:
+    cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_NO_MARKER,
+                     termination=Termination.ROOT_BCAST)
+    r = run_ring_scenario(
+        cfg, N,
+        injectors=[KillAtProbe(rank=2, probe="post_send", hit=2)],
+        detection_latency=lat,
+    )
+    markers = [m for m, _v in r.value(0)["root_completions"]]
+    dupes = len(markers) - len(set(markers))
+    return markers, dupes
+
+
+def bench_fig8_duplicates_vs_detection_latency(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for lat in LATENCIES:
+            markers, dupes = _dup_stats(lat)
+            rows.append([lat, markers, dupes, ITERS - 1 not in set(markers)])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "Fig. 8 (no markers): completions at root vs detection latency",
+        ascii_table(
+            ["detect latency", "completion markers", "duplicates",
+             "final iter starved"],
+            rows,
+        ),
+    )
+    # Once detection lags the wire by more than one full hop (~1.3 us at
+    # the default cost model), the duplicate appears consistently.
+    assert any(d > 0 for _l, _m, d, _s in rows)
+    laggy = [row for row in rows if row[0] >= 2e-6]
+    assert all(d > 0 for _l, _m, d, _s in laggy)
+    assert all(starved for _l, _m, d, starved in laggy if d)
+
+
+def bench_fig8_canonical_sequence(benchmark):
+    # The figure's exact cast: P1 resends, P3 forwards the duplicate.
+    def run():
+        cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_NO_MARKER,
+                         termination=Termination.ROOT_BCAST)
+        return run_ring_scenario(
+            cfg, N,
+            injectors=[KillAtProbe(rank=2, probe="post_send", hit=2)],
+            detection_latency=2e-6,
+        )
+
+    r = timed(benchmark, run)
+    markers = [m for m, _v in r.value(0)["root_completions"]]
+    emit(
+        "Fig. 8 canonical sequence",
+        f"root completions (marker,value): {r.value(0)['root_completions']}\n"
+        f"rank1 resends: {r.value(1)['resends']}  "
+        f"rank3 forwards: {r.value(3)['forwards']}",
+    )
+    assert markers.count(1) == 2  # iteration 1 completed twice
+    assert r.value(1)["resends"] == 1

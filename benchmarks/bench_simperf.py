@@ -1,0 +1,92 @@
+"""EXP-PERF — raw simulator performance (regression guard).
+
+Not a paper figure: these benches track the substrate's wall-clock cost so
+protocol-level additions don't silently degrade the harness.  Reported
+series: simulated messages per wall second for a ping-ring workload, event
+throughput under pure timers, fiber context-switch cost, and scaling of a
+full FT-ring run with ring size.
+"""
+
+from __future__ import annotations
+
+from repro.core import RingConfig, Termination, make_ring_main
+from repro.simmpi import Simulation
+from conftest import emit, timed
+
+
+def bench_simperf_ring_messages(benchmark):
+    """Throughput: a 16-rank ring circulating 50 iterations (~800 msgs)."""
+
+    def run():
+        cfg = RingConfig(max_iter=50, termination=Termination.NONE)
+        return Simulation(nprocs=16).run(make_ring_main(cfg))
+
+    result = timed(benchmark, run)
+    msgs = 16 * 50
+    emit(
+        "simulator throughput (ring workload)",
+        f"{msgs} messages simulated; mean wall time in the benchmark table "
+        f"gives msgs/sec",
+    )
+    assert result.value(0)["root_completions"][-1][0] == 49
+
+
+def bench_simperf_timer_events(benchmark):
+    """Event-loop throughput: 4 ranks x 500 compute slices."""
+
+    def main(mpi):
+        for _ in range(500):
+            mpi.compute(1e-9)
+        return "done"
+
+    def run():
+        return Simulation(nprocs=4, trace_enabled=False).run(main)
+
+    result = timed(benchmark, run)
+    assert all(v == "done" for v in result.values().values())
+
+
+def bench_simperf_fiber_switches(benchmark):
+    """Handoff cost: two ranks ping-ponging 300 times (600 switches+)."""
+
+    def main(mpi):
+        comm = mpi.comm_world
+        other = 1 - comm.rank
+        for i in range(300):
+            if comm.rank == i % 2:
+                comm.send(i, dest=other)
+            else:
+                comm.recv(source=other)
+        return "done"
+
+    def run():
+        return Simulation(nprocs=2, trace_enabled=False).run(main)
+
+    result = timed(benchmark, run)
+    assert all(v == "done" for v in result.values().values())
+
+
+def bench_simperf_scaling(benchmark):
+    """Wall time vs ring size at constant per-rank work."""
+    rows = []
+
+    def run_all():
+        rows.clear()
+        import time
+
+        for n in (8, 16, 32, 64):
+            cfg = RingConfig(max_iter=5, termination=Termination.NONE)
+            t0 = time.perf_counter()
+            Simulation(nprocs=n, trace_enabled=False).run(make_ring_main(cfg))
+            rows.append([n, time.perf_counter() - t0])
+        return rows
+
+    timed(benchmark, run_all)
+    from repro.analysis import ascii_table
+
+    emit(
+        "simulator wall-time scaling (5-iteration ring)",
+        ascii_table(["ranks", "wall seconds"], rows),
+    )
+    # Roughly linear in total messages: 8x the ranks < 40x the time.
+    assert rows[-1][1] < 40 * max(rows[0][1], 1e-4)

@@ -1,0 +1,119 @@
+"""EXP-VAL — cost and resilience of the ``MPI_Comm_validate_all`` consensus.
+
+Characterizes the FloodSet agreement behind the collective validate:
+
+* message cost vs communicator size, full vs early-deciding mode (the
+  ablation DESIGN.md calls out);
+* resilience: agreement and termination with up to n-1 ranks dying
+  *during* the protocol;
+* monotone count: successive validates report the accumulated total,
+  per the paper's "total number of failures" contract.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.ft import comm_validate_all
+from repro.simmpi import ErrorHandler, Simulation, TraceKind
+from conftest import emit, timed
+
+SIZES = [2, 4, 8, 16]
+
+
+def _validate_run(n: int, mode: str, kills=()):
+    def main(mpi):
+        comm = mpi.comm_world
+        comm.set_errhandler(ErrorHandler.ERRORS_RETURN)
+        if kills and comm.rank in {k for k, _ in kills}:
+            mpi.compute(1.0)
+            return
+        return comm_validate_all(comm, mode=mode)
+
+    sim = Simulation(nprocs=n)
+    for rank, t in kills:
+        sim.kill(rank, at_time=t)
+    return sim.run(main, on_deadlock="return")
+
+
+def bench_validate_message_cost(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n in SIZES:
+            for mode in ("full", "early"):
+                r = _validate_run(n, mode)
+                msgs = len(r.trace.filter(kind=TraceKind.SEND_POST))
+                rows.append([n, mode, msgs, r.final_time])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "validate_all consensus cost, failure-free",
+        ascii_table(["ranks", "mode", "messages", "virt time"], rows),
+    )
+    by = {}
+    for n, mode, msgs, _t in rows:
+        by.setdefault(n, {})[mode] = msgs
+    for n, d in by.items():
+        if n >= 4:
+            # Early stopping decides after ~2 stable rounds instead of n.
+            assert d["early"] < d["full"]
+
+
+def bench_validate_resilience(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        n = 6
+        for nfail in (1, 2, 3, 5):
+            for mode in ("full", "early"):
+                kills = [(i, 1e-7 * (i + 1)) for i in range(1, 1 + nfail)]
+                r = _validate_run(n, mode, kills=kills)
+                counts = {v for v in r.values().values() if v is not None}
+                rows.append([n, nfail, mode, not r.hung,
+                             len(counts) <= 1, sorted(counts)])
+        return rows
+
+    timed(benchmark, run_all)
+    emit(
+        "validate_all with ranks dying mid-protocol (n=6)",
+        ascii_table(
+            ["ranks", "dying", "mode", "terminated", "survivors agree",
+             "agreed count"],
+            rows,
+        ),
+    )
+    assert all(term and agree for _n, _f, _m, term, agree, _c in rows)
+
+
+def bench_validate_accumulates(benchmark):
+    def run():
+        def main(mpi):
+            comm = mpi.comm_world
+            comm.set_errhandler(ErrorHandler.ERRORS_RETURN)
+            if comm.rank == 1:
+                mpi.compute(1.0)
+                return
+            if comm.rank == 2:
+                mpi.compute(3.0)
+                return
+            mpi.compute(2.0)
+            first = comm_validate_all(comm)
+            mpi.compute(2.0)
+            second = comm_validate_all(comm)
+            return (first, second)
+
+        sim = Simulation(nprocs=5)
+        sim.kill(1, at_time=0.5)
+        sim.kill(2, at_time=2.5)
+        return sim.run(main, on_deadlock="return")
+
+    r = timed(benchmark, run)
+    emit(
+        "validate_all total-failure accounting",
+        f"rank0 saw counts {r.value(0)} across two validates "
+        f"(failures at t=0.5 and t=2.5)",
+    )
+    assert r.value(0) == (1, 2)

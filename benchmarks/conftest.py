@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_figN_*.py`` regenerates one figure of the paper: it runs the
+corresponding scenario(s), prints the rows/series as an ASCII table (these
+tables are embedded in EXPERIMENTS.md), asserts the *shape* the paper
+reports, and times the simulation through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import pytest
+
+from repro.core import RingConfig, make_ring_main, make_rootft_main
+from repro.simmpi import Simulation, SimulationResult
+
+
+def run_ring_scenario(
+    cfg: RingConfig,
+    nprocs: int,
+    *,
+    injectors: Sequence[Any] = (),
+    rootft: bool = False,
+    detection_latency: float = 0.0,
+    seed: int = 0,
+) -> SimulationResult:
+    """Build and run one ring simulation (deadlocks reported, not raised)."""
+    sim = Simulation(
+        nprocs=nprocs, seed=seed, detection_latency=detection_latency
+    )
+    for inj in injectors:
+        sim.add_injector(inj)
+    main = make_rootft_main(cfg) if rootft else make_ring_main(cfg)
+    return sim.run(main, on_deadlock="return")
+
+
+def timed(benchmark: Any, fn: Callable[[], Any]) -> Any:
+    """Run *fn* under pytest-benchmark with a small fixed round count.
+
+    The simulations are deterministic, so a handful of rounds measures
+    harness wall-time without wasting the suite's budget.
+    """
+    return benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a table block (captured into bench_output.txt by the runner)."""
+    print(f"\n=== {title} ===\n{body}")

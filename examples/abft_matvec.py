@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Algorithm-Based Fault Tolerance: recover lost results from parity.
+
+The paper's §IV traces ABFT to checksum-encoded matrix operations (Huang
+& Abraham) and diskless checkpointing (Plank).  This example runs the
+bundled ABFT matrix–vector app: four compute ranks hold row blocks of a
+matrix, a fifth rank holds their block-sum (the parity).  Rank 2 is
+fail-stopped right after computing its block in iteration 3; the
+survivors collectively validate, re-gather, and *reconstruct rank 2's
+block algebraically* — the answer stays exact, no restart, no disk.
+
+Run:  python examples/abft_matvec.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import AbftConfig, make_abft_main, reference_result
+from repro.faults import KillAtProbe
+from repro.simmpi import Simulation
+
+CFG = AbftConfig(rows_per_rank=3, cols=6, iterations=5)
+N = 5  # 4 compute + 1 parity
+
+
+def main() -> None:
+    sim = Simulation(nprocs=N)
+    sim.add_injector(KillAtProbe(rank=2, probe="computed", hit=3))
+    result = sim.run(make_abft_main(CFG), on_deadlock="return")
+
+    rep = result.value(0)
+    print(f"ran through: {not result.hung};  "
+          f"failed ranks: {sorted(result.failed_ranks)};  "
+          f"parity recoveries: {rep['recoveries']}\n")
+
+    for it in range(CFG.iterations):
+        ref = reference_result(CFG, N, it)
+        got = rep["results"][it]["blocks"]
+        recovered = rep["results"][it]["recovered"]
+        exact = all(np.allclose(got[k], ref[k]) for k in ref)
+        marker = f"  <- block {recovered} rebuilt from parity" if recovered else ""
+        print(f"iteration {it}: y blocks exact: {exact}{marker}")
+
+    print("\niteration 3, rank 2's result vector:")
+    print(f"  ground truth       : {reference_result(CFG, N, 3)[2]}")
+    print(f"  rebuilt by survivors: {rep['results'][3]['blocks'][2]}")
+    print("\nThe encoding y_P = sum(y_i) lets the survivors solve for the "
+          "dead rank's block: ABFT turns redundancy into recovery, with "
+          "MPI_Comm_validate_all as the recovery-block boundary (Randell "
+          "via paper §II).")
+
+
+if __name__ == "__main__":
+    main()

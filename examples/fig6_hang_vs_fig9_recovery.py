@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's central lesson, demonstrated: Fig. 6 hang vs Fig. 9 recovery.
+
+Runs the *same* failure scenario twice — rank 2 dies after receiving but
+before forwarding iteration 1's buffer — first with the naive receive
+(retarget-the-left, the design the paper shows is broken), then with the
+watchdog receive of Fig. 9.  The simulator's deadlock detector *proves*
+the naive hang; the FT run completes and shows the repair arrows of
+Fig. 7 (who resent what).
+
+Run:  python examples/fig6_hang_vs_fig9_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro.core import RingConfig, RingVariant, Termination, make_ring_main
+from repro.faults import KillAtProbe
+from repro.simmpi import Simulation, TraceKind
+
+
+def run_variant(variant: RingVariant):
+    sim = Simulation(nprocs=4, seed=0)
+    sim.add_injector(KillAtProbe(rank=2, probe="post_recv", hit=2))
+    cfg = RingConfig(max_iter=4, variant=variant,
+                     termination=Termination.ROOT_BCAST)
+    return sim.run(make_ring_main(cfg), on_deadlock="return")
+
+
+def main() -> None:
+    print("scenario: 4 ranks, 4 iterations; rank 2 dies after RECEIVING")
+    print("iteration 1's buffer, before forwarding it (control is lost).\n")
+
+    naive = run_variant(RingVariant.NAIVE)
+    print("-- naive receive (modeled after FT_Send_right, paper Fig. 6) --")
+    if naive.hung:
+        print(f"DEADLOCK proven at t={naive.final_time:.3e}s; blocked:")
+        for rank, why in naive.deadlock.blocked:
+            print(f"  rank {rank}: {why}")
+    else:  # pragma: no cover - the point of the example
+        print("unexpectedly completed!")
+
+    ft = run_variant(RingVariant.FT_MARKER)
+    print("\n-- FT receive with watchdog Irecv (paper Fig. 9) --")
+    print(f"ran through: {not ft.hung}")
+    print(f"root completions (marker, value): "
+          f"{ft.value(0)['root_completions']}")
+    resenders = {
+        i: ft.value(i)["resends"]
+        for i in ft.completed_ranks
+        if ft.value(i)["resends"]
+    }
+    print(f"repair resends by rank: {resenders}  (the Fig. 7 arrow)")
+    print("\nnote the values: iterations completed after the failure "
+          "accumulate one fewer increment — rank 2's contribution is gone, "
+          "but the ring ran through.")
+
+    print("\n-- space-time diagram of the FT run (the paper's Fig. 7, "
+          "rendered from the trace) --")
+    from repro.analysis import render_spacetime
+
+    print(render_spacetime(ft.trace, 4))
+
+
+if __name__ == "__main__":
+    main()

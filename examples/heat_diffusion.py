@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Fault-tolerant 1-D heat diffusion: the ring's lessons in a stencil code.
+
+Eight ranks solve the heat equation on a shared 1-D bar; rank 3 is
+fail-stopped a third of the way through.  Its neighbors recognize the
+failure (``MPI_Comm_validate_clear``), bridge the gap as an insulated
+edge, and run through — the *natural fault tolerance* style the paper's
+related-work section points to: the answer degrades gracefully instead of
+the job dying.
+
+The script prints an ASCII rendering of the final temperature field from
+both the failure-free and the failure runs, so the degradation is visible.
+
+Run:  python examples/heat_diffusion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import HeatConfig, make_heat_main
+from repro.simmpi import Simulation
+
+N = 8
+CFG = HeatConfig(cells_per_rank=8, steps=30)
+
+
+def run(kill: bool):
+    sim = Simulation(nprocs=N)
+    if kill:
+        sim.kill(3, at_time=10.5e-6)
+    return sim.run(make_heat_main(CFG), on_deadlock="return")
+
+
+def render(result) -> str:
+    cells = CFG.cells_per_rank
+    peak = 0.25  # display scale
+    chars = " .:-=+*#%@"
+    out = []
+    for rank in range(N):
+        if rank in result.failed_ranks:
+            out.append("X" * cells)
+            continue
+        field = np.array(result.value(rank)["field"])
+        out.append("".join(
+            chars[min(int(v / peak * (len(chars) - 1)), len(chars) - 1)]
+            for v in field
+        ))
+    return "|".join(out)
+
+
+def main() -> None:
+    clean = run(kill=False)
+    failed = run(kill=True)
+
+    print("final temperature field (one block per rank; X = dead rank):\n")
+    print(f"  failure-free : {render(clean)}")
+    print(f"  rank 3 dies  : {render(failed)}")
+
+    clean_heat = sum(clean.value(i)["total_heat"] for i in clean.completed_ranks)
+    kept_heat = sum(failed.value(i)["total_heat"] for i in failed.completed_ranks)
+    retries = {i: failed.value(i)["halo_retries"]
+               for i in failed.completed_ranks
+               if failed.value(i)["halo_retries"]}
+    print(f"\nheat on surviving subdomains: {kept_heat:.4f} "
+          f"(failure-free total: {clean_heat:.4f})")
+    print(f"halo exchanges redone after the failure, by rank: {retries or 'none'}")
+    print("\nrank 3's subdomain (and the heat it held) is lost; its "
+          "neighbors treat the gap as an insulated edge and the survivors "
+          "keep diffusing — run-through stabilization for a stencil code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: run the paper's fault-tolerant ring and kill a rank.
+
+This is the 60-second tour: an 8-rank ring, 6 iterations, and rank 3
+fail-stopped in the middle of iteration 2 — precisely in the window where
+it has received the buffer but not yet forwarded it (the scenario that
+hangs the naive design in the paper's Fig. 6).  The fault-tolerant design
+notices through its watchdog receive, resends past the gap, and runs
+through.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import dict_table, ring_summary
+from repro.core import RingConfig, Termination, make_ring_main
+from repro.faults import KillAtProbe
+from repro.simmpi import Simulation, TraceKind
+
+
+def main() -> None:
+    sim = Simulation(nprocs=8, seed=1)
+    # Fail-stop rank 3 at the second hit of its post-receive window:
+    # iteration 2's buffer dies with it.
+    sim.add_injector(KillAtProbe(rank=3, probe="post_recv", hit=2))
+
+    cfg = RingConfig(max_iter=6, termination=Termination.VALIDATE_ALL)
+    result = sim.run(make_ring_main(cfg))
+
+    print("== outcome ==")
+    summary = ring_summary(result)
+    print(f"ran through: {not summary['hung']}")
+    print(f"failed ranks: {summary['failed_ranks']}")
+    print(f"iterations completed at root: {summary['completions']}")
+    print(f"resends that repaired the ring: {summary['resends']}")
+    print(f"virtual completion time: {summary['final_time']:.3e} s")
+
+    print("\n== per-rank reports ==")
+    reports = [result.value(i) for i in result.completed_ranks]
+    print(dict_table(
+        reports,
+        columns=["rank", "role", "left", "right", "forwards", "resends",
+                 "duplicates_discarded"],
+    ))
+
+    print("\n== failure timeline ==")
+    for ev in result.trace:
+        if ev.kind in (TraceKind.FAILURE, TraceKind.DETECT,
+                       TraceKind.REQ_ERROR):
+            print(ev.format())
+
+
+if __name__ == "__main__":
+    main()

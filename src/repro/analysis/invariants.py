@@ -1,0 +1,171 @@
+"""Ring correctness invariants for scenario exploration and campaigns.
+
+Each invariant has the signature required by
+:mod:`repro.faults.explorer`: it inspects a
+:class:`~repro.simmpi.runtime.SimulationResult` whose rank mains returned
+ring reports (see :func:`repro.core.ring.ring_report`) and returns a
+violation message, or ``None`` when the invariant holds.
+
+These encode the paper's implicit correctness contract:
+
+* the job must not hang (no deadlock);
+* every surviving rank must finish (run *through* the failure);
+* no ring iteration may complete more than once at a root (the Fig. 8
+  duplicate pathology);
+* iterations complete in marker order, and enough of them complete;
+* circulating values stay within the arithmetic bounds of a ring of at
+  most ``nprocs`` increments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..simmpi.runtime import SimulationResult
+
+Invariant = Callable[[SimulationResult], "str | None"]
+
+
+def _reports(result: SimulationResult) -> dict[int, dict[str, Any]]:
+    out = {}
+    for o in result.outcomes:
+        if o.state == "done" and isinstance(o.value, dict):
+            out[o.rank] = o.value
+    return out
+
+
+def _completions(result: SimulationResult) -> list[tuple[int, int, int]]:
+    """All (root_rank, marker, value) completion records of surviving roots."""
+    recs = []
+    for rank, rep in _reports(result).items():
+        for marker, value in rep.get("root_completions", ()):
+            recs.append((rank, marker, value))
+    return recs
+
+
+def no_hang(result: SimulationResult) -> str | None:
+    """The run must not end in a proven deadlock."""
+    if result.hung:
+        assert result.deadlock is not None
+        return f"hang: {result.deadlock}"
+    return None
+
+
+def no_abort(result: SimulationResult) -> str | None:
+    """The run must not abort (use when the scenario forbids aborts)."""
+    if result.aborted is not None:
+        return f"aborted: {result.aborted}"
+    return None
+
+
+def survivors_done(result: SimulationResult) -> str | None:
+    """Every rank that did not fail must complete its main normally.
+
+    An aborted job is exempt: aborts unwind survivors by design (the
+    :func:`no_abort` invariant decides whether the abort itself was
+    legitimate).
+    """
+    if result.aborted is not None:
+        return None
+    bad = [
+        o.rank
+        for o in result.outcomes
+        if o.state not in ("done", "failed")
+    ]
+    if bad:
+        return f"survivors did not finish: ranks {bad}"
+    return None
+
+
+def no_duplicate_completions(result: SimulationResult) -> str | None:
+    """No iteration marker completes twice at the same root (Fig. 8)."""
+    seen: dict[int, set[int]] = {}
+    for root, marker, _value in _completions(result):
+        markers = seen.setdefault(root, set())
+        if marker in markers:
+            return f"marker {marker} completed twice at root {root}"
+        markers.add(marker)
+    return None
+
+
+def completions_in_order(result: SimulationResult) -> str | None:
+    """Each root's completion markers are strictly increasing."""
+    for rank, rep in _reports(result).items():
+        markers = [m for m, _v in rep.get("root_completions", ())]
+        if markers != sorted(markers) or len(markers) != len(set(markers)):
+            return f"root {rank} completions out of order: {markers}"
+    return None
+
+
+def make_min_completions(
+    max_iter: int, allow_root_loss: bool = False
+) -> Invariant:
+    """The ring makes full progress: all ``max_iter`` iterations run.
+
+    Progress is measured two ways and the *stronger available* evidence is
+    used: distinct completion markers recorded at surviving roots, and the
+    forward counters (``cur_marker``) of surviving ranks — a survivor with
+    ``cur_marker == max_iter`` forwarded every iteration, proving the ring
+    circulated them all even if the completion *records* died with a
+    failed root (§III-D: a root's log is local state, not replicated).
+
+    With ``allow_root_loss=False`` (the paper's root-survives assumption)
+    completion records themselves must be complete.
+    """
+
+    def _inv(result: SimulationResult) -> str | None:
+        if result.aborted is not None:
+            return None
+        markers = {m for _r, m, _v in _completions(result)}
+        forwards = [
+            rep.get("cur_marker", 0) for rep in _reports(result).values()
+        ]
+        progress = max(
+            [m + 1 for m in markers] + forwards + [0]
+        )
+        if progress < max_iter:
+            return (
+                f"ring progressed only {progress} of {max_iter} iterations "
+                f"(completed markers {sorted(markers)}, forwards {forwards})"
+            )
+        if not allow_root_loss and len(markers) < max_iter:
+            return (
+                f"only {len(markers)} of {max_iter} completions recorded "
+                f"(markers {sorted(markers)})"
+            )
+        return None
+
+    return _inv
+
+
+def make_value_bounds(nprocs: int) -> Invariant:
+    """Every completed value v satisfies ``1 <= v <= nprocs``.
+
+    The root injects 1 and each surviving non-root increments once, so a
+    completion can never exceed the number of ranks (nor go below 1).
+    """
+
+    def _inv(result: SimulationResult) -> str | None:
+        for root, marker, value in _completions(result):
+            if not 1 <= value <= nprocs:
+                return (
+                    f"marker {marker} at root {root} completed with "
+                    f"out-of-range value {value}"
+                )
+        return None
+
+    return _inv
+
+
+def standard_ring_invariants(
+    max_iter: int, nprocs: int, allow_root_loss: bool = False
+) -> list[Invariant]:
+    """The default invariant battery for ring scenario exploration."""
+    return [
+        no_hang,
+        survivors_done,
+        no_duplicate_completions,
+        completions_in_order,
+        make_min_completions(max_iter, allow_root_loss=allow_root_loss),
+        make_value_bounds(nprocs),
+    ]

@@ -1,0 +1,71 @@
+"""Run statistics: message counts, timing, and ring-report aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..simmpi.runtime import SimulationResult
+from ..simmpi.trace import TraceKind
+
+
+@dataclass(frozen=True)
+class MessageStats:
+    """Network-level counters extracted from a simulation trace."""
+
+    sends: int
+    deliveries: int
+    drops: int
+    recv_errors: int
+    detections: int
+
+    @property
+    def lost(self) -> int:
+        """Messages injected but never delivered (dead destination)."""
+        return self.drops
+
+
+def message_stats(result: SimulationResult) -> MessageStats:
+    """Count transport events in the result's trace."""
+    t = result.trace
+    return MessageStats(
+        sends=len(t.filter(kind=TraceKind.SEND_POST)),
+        deliveries=len(t.filter(kind=TraceKind.DELIVER)),
+        drops=len(t.filter(kind=TraceKind.SEND_DROP)),
+        recv_errors=len(t.filter(kind=TraceKind.REQ_ERROR)),
+        detections=len(t.filter(kind=TraceKind.DETECT)),
+    )
+
+
+def ring_summary(result: SimulationResult) -> dict[str, Any]:
+    """Aggregate the per-rank ring reports of one run into one row.
+
+    Includes virtual completion time, total resends/duplicates/retargets
+    across ranks, the union of completed markers, and whether the run
+    hung or aborted.
+    """
+    reports = [
+        o.value
+        for o in result.outcomes
+        if o.state == "done" and isinstance(o.value, dict)
+    ]
+    completions: list[tuple[int, int]] = []
+    for rep in reports:
+        completions.extend(rep.get("root_completions", ()))
+    markers = [m for m, _v in completions]
+    return {
+        "final_time": result.final_time,
+        "hung": result.hung,
+        "aborted": result.aborted is not None,
+        "failed_ranks": sorted(result.failed_ranks),
+        "survivors": len(reports),
+        "resends": sum(rep.get("resends", 0) for rep in reports),
+        "duplicates_discarded": sum(
+            rep.get("duplicates_discarded", 0) for rep in reports
+        ),
+        "right_retargets": sum(rep.get("right_retargets", 0) for rep in reports),
+        "left_retargets": sum(rep.get("left_retargets", 0) for rep in reports),
+        "completions": completions,
+        "distinct_markers": len(set(markers)),
+        "duplicate_completions": len(markers) - len(set(markers)),
+    }

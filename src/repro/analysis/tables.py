@@ -1,0 +1,58 @@
+"""Minimal ASCII tables for benchmark and experiment output.
+
+The harness prints the same row/series structure the paper's figures
+describe; EXPERIMENTS.md embeds these tables verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats compactly, everything else via str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def dict_table(
+    rows: Sequence[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of dicts, using the first row's keys by default."""
+    if not rows:
+        return title or "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    return ascii_table(cols, [[r.get(c, "") for c in cols] for r in rows], title)

@@ -1,0 +1,51 @@
+"""``repro.apps`` — domain applications built on the public FT ring API.
+
+Three workloads demonstrating the paper's communication-level lessons
+beyond the ring example itself:
+
+* :mod:`~repro.apps.heat1d` — 1-D heat diffusion with fault-tolerant halo
+  exchange (natural-fault-tolerance degradation over dead subdomains).
+* :mod:`~repro.apps.ring_allreduce` — vector allreduce over the FT ring
+  machinery, with idempotent (contributor-set guarded) accumulation.
+* :mod:`~repro.apps.manager_worker` — a Gropp–Lusk style task farm that
+  requeues the tasks of dead workers via the validate API.
+* :mod:`~repro.apps.abft_matvec` — Huang–Abraham style ABFT matrix–vector
+  products with a parity rank: lost result blocks are reconstructed
+  algebraically after a collective validate.
+"""
+
+from .abft_matvec import AbftConfig, abft_main, make_abft_main, reference_result
+
+from .heat1d import HeatConfig, heat_main, make_heat_main
+from .manager_worker import (
+    FarmConfig,
+    expected_results,
+    make_farm_mains,
+    manager_main,
+    worker_main,
+)
+from .ring_allreduce import (
+    AllreduceConfig,
+    allreduce_main,
+    expected_sum,
+    make_allreduce_main,
+)
+
+__all__ = [
+    "AbftConfig",
+    "AllreduceConfig",
+    "FarmConfig",
+    "HeatConfig",
+    "abft_main",
+    "allreduce_main",
+    "expected_results",
+    "expected_sum",
+    "heat_main",
+    "make_allreduce_main",
+    "make_farm_mains",
+    "make_abft_main",
+    "make_heat_main",
+    "manager_main",
+    "reference_result",
+    "worker_main",
+]

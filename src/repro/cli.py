@@ -1,0 +1,268 @@
+"""Command-line interface: run paper scenarios without writing Python.
+
+Subcommands
+-----------
+
+``ring``
+    Run the fault-tolerant ring (any design variant / termination), with
+    optional fail-stop injections, and print the per-rank reports plus an
+    optional space-time diagram.
+
+``explore``
+    Exhaustively sweep a fail-stop through every reachable failure window
+    of the ring (paper §III-E) and print the coverage map.
+
+``heat`` / ``farm`` / ``abft``
+    Run the bundled domain applications under optional failures.
+
+Examples::
+
+    python -m repro ring --nprocs 8 --iters 6 --kill-probe 3:post_recv:2
+    python -m repro ring --variant naive --kill-probe 2:post_recv:2
+    python -m repro explore --variant ft_marker --pairs
+    python -m repro abft --kill-probe 2:computed:3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import (
+    dict_table,
+    render_spacetime,
+    ring_summary,
+    standard_ring_invariants,
+)
+from .apps import (
+    AbftConfig,
+    FarmConfig,
+    HeatConfig,
+    expected_results,
+    make_abft_main,
+    make_farm_mains,
+    make_heat_main,
+)
+from .core import (
+    RingConfig,
+    RingVariant,
+    Termination,
+    make_ring_main,
+    make_rootft_main,
+)
+from .faults import FailureSchedule, explore
+from .simmpi import Simulation
+
+
+def _add_kill_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--kill-time", action="append", default=[], metavar="RANK:TIME",
+        help="fail-stop RANK at virtual TIME (repeatable)",
+    )
+    p.add_argument(
+        "--kill-probe", action="append", default=[], metavar="RANK:PROBE:HIT",
+        help="fail-stop RANK at the HIT-th occurrence of PROBE (repeatable)",
+    )
+
+
+def _schedule_from(args: argparse.Namespace) -> FailureSchedule:
+    sched = FailureSchedule()
+    for spec in args.kill_time:
+        rank, time = spec.split(":")
+        sched.at_time(int(rank), float(time))
+    for spec in args.kill_probe:
+        rank, probe, hit = spec.split(":")
+        sched.at_probe(int(rank), probe, int(hit))
+    return sched
+
+
+def _common_sim(args: argparse.Namespace, nprocs: int) -> Simulation:
+    sim = Simulation(
+        nprocs=nprocs,
+        seed=args.seed,
+        detection_latency=args.detection_latency,
+    )
+    sched = _schedule_from(args)
+    if len(sched):
+        sim.add_injector(sched.injector())
+    return sim
+
+
+def cmd_ring(args: argparse.Namespace) -> int:
+    cfg = RingConfig(
+        max_iter=args.iters,
+        variant=RingVariant(args.variant),
+        termination=Termination(args.termination),
+        work_per_iter=args.work,
+    )
+    main = make_rootft_main(cfg) if args.rootft else make_ring_main(cfg)
+    sim = _common_sim(args, args.nprocs)
+    result = sim.run(main, on_deadlock="return")
+
+    s = ring_summary(result)
+    print(f"outcome: {'HANG' if s['hung'] else 'aborted' if s['aborted'] else 'ran through'}")
+    print(f"failed ranks: {s['failed_ranks']}  survivors: {s['survivors']}")
+    print(f"completions (marker, value): {s['completions']}")
+    print(f"resends: {s['resends']}  duplicates discarded: "
+          f"{s['duplicates_discarded']}")
+    reports = [result.value(i) for i in result.completed_ranks]
+    if reports:
+        print()
+        print(dict_table(
+            reports,
+            columns=["rank", "role", "left", "right", "forwards", "resends",
+                     "duplicates_discarded"],
+        ))
+    if result.hung:
+        print("\nblocked processes:")
+        for rank, why in result.deadlock.blocked:
+            print(f"  rank {rank}: {why}")
+    if args.spacetime:
+        print()
+        print(render_spacetime(result.trace, args.nprocs))
+    return 2 if s["hung"] else 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    cfg = RingConfig(
+        max_iter=args.iters,
+        variant=RingVariant(args.variant),
+        termination=Termination(args.termination),
+    )
+
+    def factory():
+        sim = Simulation(nprocs=args.nprocs, seed=args.seed,
+                         detection_latency=args.detection_latency)
+        main = make_rootft_main(cfg) if args.rootft else make_ring_main(cfg)
+        return sim, main
+
+    ranks = None if args.rootft else list(range(1, args.nprocs))
+    rep = explore(
+        factory,
+        invariants=standard_ring_invariants(
+            args.iters, args.nprocs, allow_root_loss=args.rootft
+        ),
+        ranks=ranks,
+        pairs=args.pairs,
+    )
+    print(rep.format())
+    return 1 if rep.failures else 0
+
+
+def cmd_heat(args: argparse.Namespace) -> int:
+    cfg = HeatConfig(cells_per_rank=args.cells, steps=args.steps)
+    sim = _common_sim(args, args.nprocs)
+    result = sim.run(make_heat_main(cfg), on_deadlock="return")
+    print(f"outcome: {'HANG' if result.hung else 'ran through'}")
+    print(f"failed ranks: {sorted(result.failed_ranks)}")
+    for i in result.completed_ranks:
+        rep = result.value(i)
+        print(f"rank {i}: total heat {rep['total_heat']:.4f}, "
+              f"halo retries {rep['halo_retries']}")
+    return 2 if result.hung else 0
+
+
+def cmd_farm(args: argparse.Namespace) -> int:
+    cfg = FarmConfig(num_tasks=args.tasks, work_per_task=1e-6)
+    sim = _common_sim(args, args.nprocs)
+    result = sim.run(make_farm_mains(cfg, args.nprocs), on_deadlock="return")
+    if result.hung:
+        print("HANG")
+        return 2
+    if result.aborted is not None:
+        print(f"aborted: {result.aborted}")
+        return 3
+    rep = result.value(0)
+    ok = rep["results"] == expected_results(cfg)
+    print(f"tasks complete & correct: {ok}")
+    print(f"dead workers: {rep['dead_workers']}  "
+          f"reassignments: {rep['reassignments']}")
+    return 0 if ok else 1
+
+
+def cmd_abft(args: argparse.Namespace) -> int:
+    cfg = AbftConfig(iterations=args.iters)
+    sim = _common_sim(args, args.nprocs)
+    result = sim.run(make_abft_main(cfg), on_deadlock="return")
+    if result.hung:
+        print("HANG")
+        return 2
+    rep = result.value(min(result.completed_ranks))
+    print(f"failed ranks: {sorted(result.failed_ranks)}")
+    print(f"parity recoveries: {rep['recoveries']}  degraded: "
+          f"{rep['degraded']}")
+    for rec in rep["results"]:
+        print(f"iteration {rec['iteration']}: blocks "
+              f"{sorted(rec['blocks'])} recovered {rec['recovered']}")
+    return 1 if rep["degraded"] else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant MPI ring reproduction "
+                    "(Hursey & Graham 2011) on a simulated MPI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, nprocs_default: int) -> None:
+        p.add_argument("--nprocs", type=int, default=nprocs_default)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--detection-latency", type=float, default=0.0)
+        _add_kill_args(p)
+
+    ring = sub.add_parser("ring", help="run the fault-tolerant ring")
+    common(ring, 8)
+    ring.add_argument("--iters", type=int, default=6)
+    ring.add_argument("--work", type=float, default=0.0,
+                      help="virtual compute seconds per iteration")
+    ring.add_argument("--variant", default="ft_marker",
+                      choices=[v.value for v in RingVariant])
+    ring.add_argument("--termination", default="validate_all",
+                      choices=[t.value for t in Termination])
+    ring.add_argument("--rootft", action="store_true",
+                      help="use the §III-D root-failure-tolerant driver")
+    ring.add_argument("--spacetime", action="store_true",
+                      help="print a space-time diagram of the run")
+    ring.set_defaults(fn=cmd_ring)
+
+    ex = sub.add_parser("explore", help="exhaustive failure-window sweep")
+    common(ex, 4)
+    ex.add_argument("--iters", type=int, default=3)
+    ex.add_argument("--variant", default="ft_marker",
+                    choices=[v.value for v in RingVariant])
+    ex.add_argument("--termination", default="validate_all",
+                    choices=[t.value for t in Termination])
+    ex.add_argument("--rootft", action="store_true")
+    ex.add_argument("--pairs", action="store_true",
+                    help="also sweep every pair of windows")
+    ex.set_defaults(fn=cmd_explore)
+
+    heat = sub.add_parser("heat", help="fault-tolerant heat diffusion")
+    common(heat, 6)
+    heat.add_argument("--cells", type=int, default=8)
+    heat.add_argument("--steps", type=int, default=20)
+    heat.set_defaults(fn=cmd_heat)
+
+    farm = sub.add_parser("farm", help="manager/worker task farm")
+    common(farm, 5)
+    farm.add_argument("--tasks", type=int, default=20)
+    farm.set_defaults(fn=cmd_farm)
+
+    abft = sub.add_parser("abft", help="ABFT parity-recovered matvec")
+    common(abft, 5)
+    abft.add_argument("--iters", type=int, default=5)
+    abft.set_defaults(fn=cmd_abft)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (``python -m repro`` / the ``repro`` console script)."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""``repro.core`` — the paper's fault-tolerant ring, every design stage.
+
+Public surface:
+
+* :func:`make_ring_main` / :class:`RingConfig` / :class:`RingVariant` /
+  :class:`Termination` — build a per-rank main for a
+  :class:`~repro.simmpi.runtime.Simulation` (paper Figs. 2 and 3).
+* :func:`make_rootft_main` — the §III-D root-failure-tolerant driver.
+* The building blocks, for composing your own protocols:
+  :func:`to_left_of` / :func:`to_right_of` / :func:`get_current_root`
+  (Figs. 4, 12), :func:`ft_send_right` (Fig. 5), :func:`ft_recv_left` /
+  :func:`naive_recv_left` (Figs. 6–10), and the two termination schemes
+  (Figs. 11, 13).
+"""
+
+from .messages import (
+    IDX_NORMAL,
+    IDX_WATCHDOG,
+    TAG_DONE,
+    TAG_NORMAL,
+    TAG_RESEND,
+    RingMsg,
+)
+from .neighbors import get_current_root, to_left_of, to_right_of
+from .recv import BecameRoot, ensure_watchdog, ft_recv_left, naive_recv_left
+from .ring import (
+    RingConfig,
+    RingVariant,
+    Termination,
+    baseline_ring_main,
+    ft_ring_main,
+    make_ring_main,
+    ring_report,
+)
+from .rootft import make_rootft_main, rootft_ring_main
+from .send import ft_send_right
+from .state import RingState, RingStats
+from .termination import (
+    ft_termination_ibarrier,
+    ft_termination_root_bcast,
+    ft_termination_validate_all,
+)
+
+__all__ = [
+    "BecameRoot",
+    "IDX_NORMAL",
+    "IDX_WATCHDOG",
+    "RingConfig",
+    "RingMsg",
+    "RingState",
+    "RingStats",
+    "RingVariant",
+    "TAG_DONE",
+    "TAG_NORMAL",
+    "TAG_RESEND",
+    "Termination",
+    "baseline_ring_main",
+    "ensure_watchdog",
+    "ft_recv_left",
+    "ft_ring_main",
+    "ft_send_right",
+    "ft_termination_ibarrier",
+    "ft_termination_root_bcast",
+    "ft_termination_validate_all",
+    "get_current_root",
+    "make_ring_main",
+    "make_rootft_main",
+    "naive_recv_left",
+    "ring_report",
+    "rootft_ring_main",
+    "to_left_of",
+    "to_right_of",
+]

@@ -1,0 +1,79 @@
+"""Per-process ring state and statistics.
+
+Collects the globals of the paper's pseudo code (``P_L``, ``P_R``,
+``P_Root``, ``cur_marker``, the last buffer sent right) plus the counters
+the benchmark harness reports (resends, duplicates discarded, neighbor
+retargets, iterations completed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simmpi.communicator import Comm
+from ..simmpi.request import Request
+from .messages import RingMsg
+
+
+@dataclass
+class RingStats:
+    """Counters accumulated by one rank over a ring run."""
+
+    iterations_completed: int = 0
+    forwards: int = 0
+    resends: int = 0
+    duplicates_discarded: int = 0
+    right_retargets: int = 0
+    left_retargets: int = 0
+    #: Values the root observed completing each iteration, in order;
+    #: non-root ranks leave this empty.  A marker appearing twice here is
+    #: the paper's Fig. 8 duplicate-completion pathology.
+    root_completions: list[tuple[int, int]] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for reports and assertions."""
+        return {
+            "iterations_completed": self.iterations_completed,
+            "forwards": self.forwards,
+            "resends": self.resends,
+            "duplicates_discarded": self.duplicates_discarded,
+            "right_retargets": self.right_retargets,
+            "left_retargets": self.left_retargets,
+            "root_completions": list(self.root_completions),
+        }
+
+
+@dataclass
+class RingState:
+    """The paper's per-process globals, bundled.
+
+    ``last_sent`` holds a copy of the last buffer passed to the right
+    neighbor — the message that must be *resent* when the right neighbor
+    dies holding the ring's control (paper Fig. 7).
+    """
+
+    comm: Comm
+    left: int
+    right: int
+    root: int
+    cur_marker: int = 0
+    last_sent: RingMsg | None = None
+    #: Use iteration markers to drop duplicates (paper §III-B).  Disabled
+    #: for the Fig. 8 demonstration variant.
+    dedup: bool = True
+    #: Send resends on a separate tag (the paper's alternative dedup
+    #: channel); normal traffic stays on TAG_NORMAL.
+    resend_tag_split: bool = False
+    #: The persistent watchdog receive posted to the right neighbor.
+    watchdog: Request | None = None
+    #: Freshest duplicate discarded by the marker check — consulted by the
+    #: §III-D root-recovery path (see :mod:`repro.core.rootft`).
+    last_discarded: RingMsg | None = None
+    stats: RingStats = field(default_factory=RingStats)
+
+    @property
+    def me(self) -> int:
+        return self.comm.rank
+
+    def is_root(self) -> bool:
+        return self.me == self.root

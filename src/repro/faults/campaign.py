@@ -1,0 +1,119 @@
+"""Randomized fault-injection campaigns.
+
+Complements the exhaustive :mod:`repro.faults.explorer`: where the
+explorer enumerates probe-point windows, a campaign samples *timing-level*
+failure placements (virtual-time kills and seeded per-call coin flips)
+across many seeds — the style of testing the paper's §III-E describes as
+"intensive use of fault injection tools".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..simmpi.runtime import Simulation, SimulationResult
+from .explorer import Invariant, ScenarioFactory
+from .injector import CompositeInjector, KillAtTime
+
+
+@dataclass
+class CampaignRun:
+    """One sampled run: where failures were placed and what happened."""
+
+    seed: int
+    kills: tuple[tuple[int, float], ...]  # (rank, time) pairs
+    hung: bool
+    aborted: bool
+    violations: list[str] = field(default_factory=list)
+    result: SimulationResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.hung and not self.violations
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate over all sampled runs."""
+
+    runs: list[CampaignRun]
+
+    @property
+    def failures(self) -> list[CampaignRun]:
+        return [r for r in self.runs if not r.ok]
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "runs": len(self.runs),
+            "ok": sum(r.ok for r in self.runs),
+            "hangs": sum(r.hung for r in self.runs),
+            "violations": sum(bool(r.violations) for r in self.runs),
+            "aborts": sum(r.aborted for r in self.runs),
+        }
+
+    def format(self) -> str:
+        s = self.summary()
+        lines = [
+            f"campaign: {s['runs']} runs, {s['ok']} ok, {s['hangs']} hangs, "
+            f"{s['violations']} violating, {s['aborts']} aborts"
+        ]
+        for r in self.failures:
+            tag = "HANG" if r.hung else "VIOLATION"
+            kills = ", ".join(f"r{k}@{t:.3g}" for k, t in r.kills)
+            lines.append(
+                f"  [{tag}] seed={r.seed} kills=[{kills}]: "
+                f"{'; '.join(r.violations) or 'deadlock'}"
+            )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    factory: ScenarioFactory,
+    *,
+    seeds: Sequence[int],
+    horizon: float,
+    kills_per_run: int = 1,
+    eligible_ranks: Sequence[int] | None = None,
+    invariants: Sequence[Invariant] = (),
+    keep_results: bool = False,
+) -> CampaignReport:
+    """Sample ``len(seeds)`` runs, each killing ``kills_per_run`` distinct
+    ranks at uniform-random virtual times in ``[0, horizon)``.
+
+    ``eligible_ranks`` restricts who may die (default: every rank of the
+    scenario except rank 0 — matching the paper's root-survives
+    assumption; pass an explicit list to include the root).
+    """
+    runs: list[CampaignRun] = []
+    for seed in seeds:
+        rng = random.Random(seed)
+        sim, main = factory()
+        ranks = (
+            list(eligible_ranks)
+            if eligible_ranks is not None
+            else list(range(1, sim.nprocs))
+        )
+        if kills_per_run > len(ranks):
+            raise ValueError("kills_per_run exceeds eligible ranks")
+        victims = rng.sample(ranks, kills_per_run)
+        kills = tuple(
+            sorted((v, rng.uniform(0.0, horizon)) for v in victims)
+        )
+        sim.add_injector(
+            CompositeInjector(KillAtTime(rank=v, time=t) for v, t in kills)
+        )
+        result = sim.run(main, on_deadlock="return")
+        violations = [v for inv in invariants if (v := inv(result)) is not None]
+        runs.append(
+            CampaignRun(
+                seed=seed,
+                kills=kills,
+                hung=result.hung,
+                aborted=result.aborted is not None,
+                violations=violations,
+                result=result if keep_results else None,
+            )
+        )
+    return CampaignReport(runs=runs)

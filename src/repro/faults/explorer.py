@@ -1,0 +1,182 @@
+"""Exhaustive failure-scenario exploration (paper §III-E).
+
+The paper closes with the testing question: *how can a developer know when
+they have addressed all of the problematic fault scenarios?*  Fault
+injection alone samples; this module enumerates.  Because the simulator is
+deterministic, the set of reachable failure windows of a program is
+exactly the set of probe-point hits of its failure-free reference run —
+so we can:
+
+1. run the scenario once with no failures and collect every
+   ``(rank, probe, hit)`` window from the trace;
+2. re-run the scenario once per window, killing that rank at that window
+   (optionally: once per *pair* of windows, for double failures);
+3. classify every run with user-supplied invariants.
+
+The result is a complete map of "what happens if a process dies *here*"
+— the tool the paper wishes existed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..simmpi.runtime import Simulation, SimulationResult
+from ..simmpi.trace import TraceKind
+from .injector import CompositeInjector, FaultInjector, KillAtProbe
+
+#: Builds a fresh, un-run Simulation plus its per-rank main(s).
+ScenarioFactory = Callable[[], tuple[Simulation, Any]]
+
+#: An invariant inspects a result and returns a violation message or None.
+Invariant = Callable[[SimulationResult], str | None]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One reachable failure window: rank dies at the hit-th probe."""
+
+    rank: int
+    probe: str
+    hit: int
+
+    def injector(self) -> FaultInjector:
+        return KillAtProbe(rank=self.rank, probe=self.probe, hit=self.hit)
+
+    def __str__(self) -> str:
+        return f"r{self.rank}@{self.probe}#{self.hit}"
+
+
+@dataclass
+class ScenarioOutcome:
+    """Classification of one fault-injected run."""
+
+    windows: tuple[Window, ...]
+    hung: bool
+    aborted: bool
+    violations: list[str] = field(default_factory=list)
+    result: SimulationResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        """No invariant violation and no hang (aborts may be legitimate —
+        invariants decide whether an abort is acceptable)."""
+        return not self.hung and not self.violations
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate of a full exploration sweep."""
+
+    reference_windows: list[Window]
+    outcomes: list[ScenarioOutcome]
+
+    @property
+    def failures(self) -> list[ScenarioOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def hangs(self) -> list[ScenarioOutcome]:
+        return [o for o in self.outcomes if o.hung]
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "windows": len(self.reference_windows),
+            "runs": len(self.outcomes),
+            "ok": sum(o.ok for o in self.outcomes),
+            "hangs": len(self.hangs),
+            "violations": sum(bool(o.violations) for o in self.outcomes),
+        }
+
+    def format(self) -> str:
+        s = self.summary()
+        lines = [
+            f"explored {s['runs']} scenario(s) over {s['windows']} window(s): "
+            f"{s['ok']} ok, {s['hangs']} hang(s), {s['violations']} violating"
+        ]
+        for o in self.failures:
+            tag = "HANG" if o.hung else "VIOLATION"
+            wins = "+".join(str(w) for w in o.windows)
+            lines.append(f"  [{tag}] {wins}: {'; '.join(o.violations) or 'deadlock'}")
+        return "\n".join(lines)
+
+
+def enumerate_windows(
+    factory: ScenarioFactory,
+    probes: Sequence[str] | None = None,
+    ranks: Sequence[int] | None = None,
+) -> list[Window]:
+    """Run the failure-free reference and list every reachable window.
+
+    ``probes``/``ranks`` filter the enumeration (e.g. only ``post_recv``
+    windows, or only non-root ranks for the Fig. 11 contract).
+    """
+    sim, main = factory()
+    result = sim.run(main, on_deadlock="return")
+    windows: list[Window] = []
+    for ev in result.trace.filter(kind=TraceKind.PROBE):
+        name = ev.detail["name"]
+        if probes is not None and name not in probes:
+            continue
+        if ranks is not None and ev.rank not in ranks:
+            continue
+        windows.append(Window(rank=ev.rank, probe=name, hit=ev.detail["hit"]))
+    return windows
+
+
+def run_window(
+    factory: ScenarioFactory,
+    windows: Window | Iterable[Window],
+    invariants: Sequence[Invariant] = (),
+    keep_results: bool = False,
+) -> ScenarioOutcome:
+    """Re-run the scenario with fail-stop injected at the given window(s)."""
+    if isinstance(windows, Window):
+        windows = (windows,)
+    wins = tuple(windows)
+    sim, main = factory()
+    sim.add_injector(CompositeInjector(w.injector() for w in wins))
+    result = sim.run(main, on_deadlock="return")
+    violations = [v for inv in invariants if (v := inv(result)) is not None]
+    return ScenarioOutcome(
+        windows=wins,
+        hung=result.hung,
+        aborted=result.aborted is not None,
+        violations=violations,
+        result=result if keep_results else None,
+    )
+
+
+def explore(
+    factory: ScenarioFactory,
+    invariants: Sequence[Invariant] = (),
+    probes: Sequence[str] | None = None,
+    ranks: Sequence[int] | None = None,
+    max_windows: int | None = None,
+    pairs: bool = False,
+    keep_results: bool = False,
+) -> ExplorationReport:
+    """Exhaustively inject a failure at every reachable window.
+
+    With ``pairs=True`` additionally injects every ordered pair of windows
+    on *distinct* ranks (double-failure scenarios).  ``max_windows`` caps
+    the enumeration for large scenarios (a cap is reported, never silent:
+    the report's ``reference_windows`` shows what was considered).
+    """
+    windows = enumerate_windows(factory, probes=probes, ranks=ranks)
+    if max_windows is not None:
+        windows = windows[:max_windows]
+    outcomes = [
+        run_window(factory, w, invariants, keep_results=keep_results)
+        for w in windows
+    ]
+    if pairs:
+        for a, b in itertools.combinations(windows, 2):
+            if a.rank == b.rank:
+                continue
+            outcomes.append(
+                run_window(factory, (a, b), invariants, keep_results=keep_results)
+            )
+    return ExplorationReport(reference_windows=windows, outcomes=outcomes)

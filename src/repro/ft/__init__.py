@@ -1,0 +1,40 @@
+"""``repro.ft`` — the run-through stabilization layer (paper Fig. 1).
+
+This package implements the MPI Forum Fault Tolerance Working Group
+interface the paper builds on, over the :mod:`repro.simmpi` substrate:
+
+=============================  ==========================================
+Paper interface                Here
+=============================  ==========================================
+``MPI_Rank_info``              :class:`RankInfo` / :class:`RankState`
+``MPI_Comm_validate_rank``     :func:`comm_validate_rank`
+``MPI_Comm_validate``          :func:`comm_validate`
+``MPI_Comm_validate_clear``    :func:`comm_validate_clear`
+``MPI_Comm_validate_all``      :func:`comm_validate_all`
+``MPI_Icomm_validate_all``     :func:`icomm_validate_all`
+=============================  ==========================================
+
+The collective validate runs a real fault-tolerant consensus
+(:mod:`repro.ft.consensus`) over the simulated network.
+"""
+
+from .consensus import ConsensusEngine, engine_for
+from .rank_info import RankInfo, RankState
+from .recovery import RecoveryBlockError, run_recovery_block
+from .validate import comm_validate, comm_validate_clear, comm_validate_rank, rank_state
+from .validate_all import comm_validate_all, icomm_validate_all
+
+__all__ = [
+    "ConsensusEngine",
+    "RankInfo",
+    "RankState",
+    "comm_validate",
+    "comm_validate_all",
+    "comm_validate_clear",
+    "comm_validate_rank",
+    "RecoveryBlockError",
+    "run_recovery_block",
+    "engine_for",
+    "icomm_validate_all",
+    "rank_state",
+]

@@ -1,0 +1,311 @@
+"""Fault-tolerant consensus for the collective validate (paper §II).
+
+The proposal states that ``MPI_Comm_validate_all`` "provides the
+application with an implementation of a fault tolerant consensus
+algorithm".  Rather than oracle-ing the agreement inside the simulator, we
+implement a real one and run it over the simulated network, so its failure
+behaviour (including processes dying *mid-protocol*) is honest.
+
+Algorithm: **FloodSet** (Lynch, *Distributed Algorithms*, §6.2) adapted to
+an asynchronous system with a perfect failure detector:
+
+* Every participant enters the protocol with a *proposal* — the set of
+  comm ranks it currently knows to have failed.
+* The protocol proceeds in rounds.  In round ``r`` each participant sends
+  its accumulated set ``W`` to every member it does not know to be dead,
+  then waits until it holds a round-``r`` message from every such member
+  (the wait set shrinks as the detector reports deaths — that is what
+  makes the emulated round terminate).
+* Rounds are processed strictly in order; payloads from future rounds are
+  buffered unmerged, so the execution is exactly a synchronous FloodSet
+  run under a synchronizer and the classic agreement proof applies.
+* After ``R = len(members)`` rounds (≥ f + 1 for any failure count f),
+  every surviving participant holds the same ``W`` and decides
+  ``D = W`` — the agreed set of failed comm ranks.
+
+An **early-deciding** mode (``mode="early"``) stops as soon as two
+consecutive rounds hear from the same member set (the standard
+early-stopping rule); deciders broadcast a ``DECIDE`` message that
+recipients adopt and re-forward (reliable-broadcast style), which keeps
+agreement and avoids the full ``R`` rounds in the common failure-free
+case.  The exhaustive fault-injection tests cover both modes.
+
+The protocol runs on the runtime's active-message layer: all sends and
+state transitions happen in event context (the "MPI progress engine"),
+which is what makes the *non-blocking* ``MPI_Icomm_validate_all`` of
+paper Fig. 13 possible without burning the application thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..simmpi.communicator import CTX_AM, Comm
+from ..simmpi.request import Request, Status
+from ..simmpi.trace import TraceKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simmpi.matching import Message
+    from ..simmpi.runtime import Runtime
+
+#: Engine attribute name stashed on the runtime (one engine per simulation).
+_ENGINE_ATTR = "_ft_consensus_engine"
+
+
+@dataclass
+class _RoundMsg:
+    """Wire format of one consensus message."""
+
+    kind: str  # "round" or "decide"
+    cid: int
+    instance: int
+    round: int
+    sender: int  # world rank
+    #: Accumulated failed-set (comm ranks), frozen for safe sharing.
+    w: frozenset[int]
+
+
+@dataclass
+class _Instance:
+    """Per-(rank, comm, instance) protocol state."""
+
+    owner: int  # world rank whose state this is
+    cid: int
+    instance: int
+    members: tuple[int, ...] = ()
+    comm: Comm | None = None  # set when the local call starts
+    request: Request | None = None
+    mode: str = "full"
+    started: bool = False
+    decided: bool = False
+    round: int = 0
+    w: set[int] = field(default_factory=set)
+    #: world ranks heard from, per round.
+    heard: dict[int, set[int]] = field(default_factory=dict)
+    #: unmerged payloads per round (strict in-order merging).
+    payloads: dict[int, list[frozenset[int]]] = field(default_factory=dict)
+    decision: frozenset[int] | None = None
+
+    @property
+    def total_rounds(self) -> int:
+        return len(self.members)
+
+
+class ConsensusEngine:
+    """Distributed-state holder for every rank's consensus instances.
+
+    The engine is a single simulator-level object, but its state is
+    strictly partitioned per world rank: rank p's instances are only ever
+    touched by deliveries addressed to p, detector notifications for p,
+    and p's own local calls — the same isolation a real per-process
+    progress engine would have.
+    """
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self.runtime = runtime
+        self._instances: dict[tuple[int, int, int], _Instance] = {}
+        self._listening: set[int] = set()
+        self._handling: set[tuple[int, int]] = set()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def ensure_comm(self, comm: Comm) -> None:
+        """Register AM handlers + failure listeners for every member."""
+        ctx = comm.context(CTX_AM)
+        for wr in comm.group:
+            if (wr, ctx) not in self._handling:
+                self._handling.add((wr, ctx))
+                self.runtime.register_am_handler(
+                    wr, ctx, lambda msg, t, r=wr: self._on_message(r, msg, t)
+                )
+            if wr not in self._listening:
+                self._listening.add(wr)
+                self.runtime.add_failure_listener(
+                    wr, lambda obs, failed, t: self._on_failure(obs, failed, t)
+                )
+
+    def _inst(self, owner: int, cid: int, instance: int) -> _Instance:
+        key = (owner, cid, instance)
+        inst = self._instances.get(key)
+        if inst is None:
+            inst = _Instance(owner=owner, cid=cid, instance=instance)
+            self._instances[key] = inst
+        return inst
+
+    # -- local call --------------------------------------------------------
+
+    def start(
+        self, comm: Comm, instance: int, request: Request, mode: str = "full"
+    ) -> None:
+        """Begin the protocol at ``comm.proc`` for one validate instance."""
+        if mode not in ("full", "early"):
+            raise ValueError(f"unknown consensus mode {mode!r}")
+        self.ensure_comm(comm)
+        proc = comm.proc
+        inst = self._inst(proc.rank, comm.cid, instance)
+        assert not inst.started, "validate instance started twice"
+        inst.comm = comm
+        inst.request = request
+        inst.mode = mode
+        inst.members = comm.group
+        inst.started = True
+        # Proposal: everything I currently know to have failed, as comm ranks.
+        inst.w.update(comm.known_failed_comm_ranks())
+        proc.runtime.trace.record(
+            proc.now, TraceKind.VALIDATE, proc.rank,
+            op="all_start", comm=comm.name, instance=instance,
+            proposal=sorted(inst.w),
+        )
+        self._enter_round(inst, 1, proc.now)
+
+    # -- protocol engine ---------------------------------------------------
+
+    def _known_failed(self, owner: int) -> frozenset[int]:
+        return self.runtime.known_failed_set(owner)
+
+    def _expected(self, inst: _Instance) -> set[int]:
+        dead = self._known_failed(inst.owner)
+        return {m for m in inst.members if m != inst.owner and m not in dead}
+
+    def _enter_round(self, inst: _Instance, r: int, time: float) -> None:
+        inst.round = r
+        payload = _RoundMsg(
+            kind="round",
+            cid=inst.cid,
+            instance=inst.instance,
+            round=r,
+            sender=inst.owner,
+            w=frozenset(inst.w),
+        )
+        assert inst.comm is not None
+        ctx = inst.comm.context(CTX_AM)
+        for m in self._expected(inst):
+            self.runtime.send_am(inst.owner, m, ctx, payload)
+        self._check_round(inst, time)
+
+    def _check_round(self, inst: _Instance, time: float) -> None:
+        """Advance through every round whose quota is already met."""
+        while inst.started and not inst.decided:
+            r = inst.round
+            heard = inst.heard.setdefault(r, set())
+            if not self._expected(inst) <= heard:
+                return
+            for w in inst.payloads.pop(r, []):
+                inst.w |= w
+            if r >= inst.total_rounds:
+                self._decide(inst, frozenset(inst.w), time, how="rounds")
+                return
+            if (
+                inst.mode == "early"
+                and r >= 2
+                and inst.heard.get(r) == inst.heard.get(r - 1)
+            ):
+                self._decide(inst, frozenset(inst.w), time, how="early")
+                self._broadcast_decide(inst)
+                return
+            self._enter_round(inst, r + 1, time)
+
+    def _broadcast_decide(self, inst: _Instance) -> None:
+        assert inst.comm is not None and inst.decision is not None
+        payload = _RoundMsg(
+            kind="decide",
+            cid=inst.cid,
+            instance=inst.instance,
+            round=inst.round,
+            sender=inst.owner,
+            w=inst.decision,
+        )
+        ctx = inst.comm.context(CTX_AM)
+        for m in self._expected(inst):
+            self.runtime.send_am(inst.owner, m, ctx, payload)
+
+    def _decide(
+        self, inst: _Instance, decision: frozenset[int], time: float, how: str
+    ) -> None:
+        inst.decided = True
+        inst.decision = decision
+        comm = inst.comm
+        assert comm is not None and inst.request is not None
+        # Collective recognition: the agreed failures become PROC_NULL for
+        # both point-to-point and collectives, re-enabling the latter.
+        comm.recognized |= decision
+        comm.validated |= decision
+        self.runtime.trace.record(
+            time, TraceKind.VALIDATE, inst.owner,
+            op="all_decide", comm=comm.name, instance=inst.instance,
+            decision=sorted(decision), how=how, round=inst.round,
+        )
+        inst.request.complete(
+            time,
+            data=decision,
+            status=Status(count=len(decision)),
+        )
+
+    # -- event-context inputs ----------------------------------------------
+
+    def _on_message(self, owner: int, msg: "Message", time: float) -> None:
+        rm: _RoundMsg = msg.payload
+        if rm.cid * 1 != rm.cid:  # pragma: no cover - defensive
+            return
+        inst = self._inst(owner, rm.cid, rm.instance)
+        if inst.decided:
+            return
+        if rm.kind == "decide":
+            if inst.started:
+                # Reliable-broadcast adoption: re-forward, then decide.
+                inst.decision = rm.w
+                self._forward_decide(inst, rm)
+                self._decide(inst, rm.w, time, how="adopted")
+            else:
+                # Not yet in the protocol locally: remember the decision;
+                # adopt the moment the local call starts.
+                inst.payloads.setdefault(-1, []).append(rm.w)
+            return
+        inst.heard.setdefault(rm.round, set()).add(rm.sender)
+        inst.payloads.setdefault(rm.round, []).append(rm.w)
+        if inst.started:
+            self._maybe_adopt_buffered_decide(inst, time)
+            if not inst.decided:
+                self._check_round(inst, time)
+
+    def _forward_decide(self, inst: _Instance, rm: _RoundMsg) -> None:
+        assert inst.comm is not None
+        ctx = inst.comm.context(CTX_AM)
+        fwd = _RoundMsg(
+            kind="decide", cid=rm.cid, instance=rm.instance,
+            round=rm.round, sender=inst.owner, w=rm.w,
+        )
+        for m in self._expected(inst):
+            self.runtime.send_am(inst.owner, m, ctx, fwd)
+
+    def _maybe_adopt_buffered_decide(self, inst: _Instance, time: float) -> None:
+        buffered = inst.payloads.pop(-1, None)
+        if buffered and not inst.decided:
+            w = buffered[0]
+            rm = _RoundMsg(kind="decide", cid=inst.cid, instance=inst.instance,
+                           round=inst.round, sender=inst.owner, w=w)
+            self._forward_decide(inst, rm)
+            self._decide(inst, w, time, how="adopted")
+
+    def on_start_check_buffered(self, comm: Comm, instance: int, time: float) -> None:
+        """After a local start, absorb any decision that arrived early."""
+        inst = self._inst(comm.proc.rank, comm.cid, instance)
+        self._maybe_adopt_buffered_decide(inst, time)
+        if not inst.decided:
+            self._check_round(inst, time)
+
+    def _on_failure(self, observer: int, failed: int, time: float) -> None:
+        for inst in list(self._instances.values()):
+            if inst.owner != observer or not inst.started or inst.decided:
+                continue
+            self._check_round(inst, time)
+
+
+def engine_for(runtime: "Runtime") -> ConsensusEngine:
+    """Get (or lazily create) the simulation's consensus engine."""
+    engine = getattr(runtime, _ENGINE_ATTR, None)
+    if engine is None:
+        engine = ConsensusEngine(runtime)
+        setattr(runtime, _ENGINE_ATTR, engine)
+    return engine

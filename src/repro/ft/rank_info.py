@@ -1,0 +1,38 @@
+"""``MPI_Rank_info`` and rank states (paper Fig. 1 lines 1–9)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RankState(enum.Enum):
+    """State of a rank as seen by one process on one communicator."""
+
+    #: Normal running state (``MPI_RANK_OK``).
+    OK = "ok"
+    #: Failed and **not yet recognized** by this process on this
+    #: communicator (``MPI_RANK_FAILED``): referencing it raises
+    #: ``MPI_ERR_RANK_FAIL_STOP``.
+    FAILED = "failed"
+    #: Failed and recognized (``MPI_RANK_NULL``): referencing it follows
+    #: ``MPI_PROC_NULL`` semantics.
+    NULL = "null"
+
+
+@dataclass(frozen=True)
+class RankInfo:
+    """Snapshot of one rank's (rank, generation, state) triple.
+
+    ``generation`` distinguishes successively recovered incarnations of a
+    rank.  Run-through stabilization never recovers processes, so it stays
+    0 throughout this reproduction (exactly as the paper notes in §II).
+    """
+
+    rank: int
+    generation: int
+    state: RankState
+
+    def ok(self) -> bool:
+        """Convenience: is this rank running normally?"""
+        return self.state is RankState.OK

@@ -1,0 +1,53 @@
+"""Collective validate (paper Fig. 1 lines 16–18).
+
+* :func:`icomm_validate_all` — non-blocking: returns a
+  :class:`~repro.simmpi.request.Request` that completes (in the progress
+  engine, off the application thread) once the fault-tolerant consensus
+  decides.  This is the request the paper's Fig. 13 termination-detection
+  code passes to ``MPI_Waitany`` alongside the resend watchdog.
+* :func:`comm_validate_all` — the blocking form: start + wait.
+
+On completion, the agreed set of failed comm ranks has been recognized
+both for point-to-point (``MPI_PROC_NULL`` semantics) and for collectives
+(which are hereby re-enabled), and the request's ``data`` holds the
+decision; its status ``count`` is the agreed total number of failures —
+the function's ``outcount``.
+"""
+
+from __future__ import annotations
+
+from ..simmpi.communicator import Comm
+from ..simmpi.p2p import wait
+from ..simmpi.request import Request, RequestKind
+
+from .consensus import engine_for
+
+
+def icomm_validate_all(comm: Comm, mode: str = "full") -> Request:
+    """``MPI_Icomm_validate_all``: start the collective validate.
+
+    ``mode`` selects the consensus variant: ``"full"`` runs the worst-case
+    ``len(comm.group)`` flooding rounds (simplest correctness argument);
+    ``"early"`` decides as soon as two consecutive rounds are stable
+    (fewer messages in the common case).  All members of one collective
+    call must pass the same mode.
+    """
+    proc = comm.proc
+    proc._mpi_call("icomm_validate_all")
+    instance = next(comm._validate_seq)
+    req = Request(RequestKind.VALIDATE, proc, comm, label=f"validate_all#{instance}")
+    engine = engine_for(proc.runtime)
+    engine.start(comm, instance, req, mode=mode)
+    engine.on_start_check_buffered(comm, instance, proc.now)
+    return req
+
+
+def comm_validate_all(comm: Comm, mode: str = "full") -> int:
+    """``MPI_Comm_validate_all``: blocking collective validate.
+
+    Returns the agreed total number of failed ranks in the communicator
+    (the ``outcount`` of the paper's interface).
+    """
+    req = icomm_validate_all(comm, mode=mode)
+    status = wait(req)
+    return status.count

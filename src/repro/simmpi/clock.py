@@ -1,0 +1,106 @@
+"""Virtual time and the global event queue of the discrete-event core.
+
+Every cause/effect in the simulator — a message delivery, a process
+failure, a timer expiring, a detector notification — is an :class:`Event`
+on a single priority queue ordered by ``(time, seq)``.  The ``seq``
+tie-breaker makes the simulation fully deterministic: two events scheduled
+for the same virtual instant always execute in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback at a virtual time.
+
+    Events compare by ``(time, seq)`` only; the callback itself never
+    participates in ordering.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    #: Diagnostic label shown in traces and deadlock reports.
+    label: str = field(compare=False, default="")
+    #: Cancelled events stay in the heap but are skipped when popped.
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it is skipped when it reaches the queue head."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(self, time: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule *fn* to run at virtual *time*; returns a cancellable handle."""
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        ev = Event(time=time, seq=next(self._seq), fn=fn, label=label)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`IndexError` when no live event remains.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> float | None:
+        """Return the virtual time of the next live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: callers that cancel an event call this once."""
+        self._live -= 1
+
+
+class VirtualClock:
+    """The global simulation clock.
+
+    The clock only moves forward, driven by event execution.  Individual
+    processes additionally keep *local* clocks (see
+    :class:`~repro.simmpi.process.SimProcess`) which may run ahead of the
+    global clock while a process performs local computation.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current global virtual time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock to *time*; the clock never runs backwards."""
+        if time > self._now:
+            self._now = time

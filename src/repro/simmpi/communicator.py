@@ -1,0 +1,554 @@
+"""Communicators: groups, contexts, per-process FT state, point-to-point.
+
+A :class:`Comm` is a *per-process* handle (as in real MPI): every rank
+holds its own instance, but instances describing the same communicator
+share a context id and a group.  The per-process state carried here is
+exactly what the run-through stabilization proposal needs:
+
+* the installed :class:`~repro.simmpi.errors.ErrorHandler`;
+* ``recognized`` — comm ranks whose failure this process has locally
+  recognized (``MPI_Comm_validate_clear``): point-to-point with them gets
+  ``MPI_PROC_NULL`` semantics;
+* ``validated`` — comm ranks recognized *collectively*
+  (``MPI_Comm_validate_all``): collectives are re-enabled only when every
+  known failure is covered by ``validated``.
+
+Point-to-point failure semantics (paper §II):
+
+* send/recv addressed to an **unrecognized known-failed** rank raises
+  ``MPI_ERR_RANK_FAIL_STOP`` (or aborts, under ``ERRORS_ARE_FATAL``);
+* addressed to a **recognized** failed rank: ``MPI_PROC_NULL`` semantics
+  (immediate completion, no data);
+* a receive posted on ``ANY_SOURCE`` while the communicator contains an
+  unrecognized known failure raises ``MPI_ERR_RANK_FAIL_STOP``;
+* pending receives complete in error the moment the detector reports the
+  peer's failure (see :mod:`repro.simmpi.runtime`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Sequence
+
+from .constants import ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED, is_valid_tag
+from .errors import (
+    ErrorClass,
+    ErrorHandler,
+    InvalidArgumentError,
+    MPIError,
+    RankFailStopError,
+)
+from .request import Request, RequestKind, Status
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .process import SimProcess
+
+#: Number of distinct message contexts reserved per communicator.
+CONTEXTS_PER_COMM = 8
+#: Offsets within a communicator's context block.
+CTX_P2P = 0
+CTX_COLL = 1
+CTX_AM = 2  # active-message layer (consensus protocol)
+
+
+class Comm:
+    """A simulated MPI communicator handle for one process."""
+
+    def __init__(
+        self,
+        proc: "SimProcess",
+        cid: int,
+        group: tuple[int, ...],
+        name: str = "",
+    ) -> None:
+        self._proc = proc
+        #: Context id; identical at every member rank.
+        self.cid = cid
+        #: World ranks of the members, indexed by comm rank.
+        self.group = group
+        #: Human-readable name for traces (``"world"``, ``"dup1"``...).
+        self.name = name or f"comm{cid}"
+        self.errhandler = ErrorHandler.ERRORS_ARE_FATAL
+        #: Comm ranks locally recognized as failed (p2p => PROC_NULL).
+        self.recognized: set[int] = set()
+        #: Comm ranks collectively recognized (collectives re-enabled).
+        self.validated: set[int] = set()
+        #: Per-process counter aligning collective operations across ranks.
+        self._coll_seq = itertools.count()
+        #: Per-process counter aligning comm-creation operations.
+        self._create_seq = itertools.count()
+        #: Per-process counter aligning validate_all rounds.
+        self._validate_seq = itertools.count()
+        try:
+            self._my_rank = group.index(proc.rank)
+        except ValueError as exc:  # pragma: no cover - construction bug
+            raise InvalidArgumentError(
+                f"process {proc.rank} not in group {group}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._my_rank
+
+    @property
+    def size(self) -> int:
+        """Number of member ranks (including failed ones — fail-stop ranks
+        keep their slots; that is the point of run-through stabilization)."""
+        return len(self.group)
+
+    @property
+    def proc(self) -> "SimProcess":
+        """The owning simulated process."""
+        return self._proc
+
+    def world_rank(self, comm_rank: int) -> int:
+        """Translate a comm rank to a world rank."""
+        if not 0 <= comm_rank < len(self.group):
+            raise InvalidArgumentError(
+                f"rank {comm_rank} out of range for {self.name} (size {self.size})",
+                rank=self._my_rank,
+            )
+        return self.group[comm_rank]
+
+    def comm_rank_of_world(self, world_rank: int) -> int | None:
+        """Translate a world rank to a comm rank (``None`` if not a member)."""
+        try:
+            return self.group.index(world_rank)
+        except ValueError:
+            return None
+
+    def context(self, offset: int = CTX_P2P) -> int:
+        """The message context id for one of this comm's channels."""
+        return self.cid * CONTEXTS_PER_COMM + offset
+
+    # ------------------------------------------------------------------
+    # Error handling
+    # ------------------------------------------------------------------
+
+    def set_errhandler(self, handler: ErrorHandler) -> None:
+        """Install the communicator's error handler (paper Fig. 3 line 10)."""
+        self.errhandler = handler
+
+    def _raise(self, exc: MPIError) -> None:
+        """Dispatch an MPI error through the installed handler."""
+        exc.rank = self._my_rank
+        if self.errhandler is ErrorHandler.ERRORS_ARE_FATAL:
+            self._proc.abort(int(exc.error_class))
+        raise exc
+
+    # ------------------------------------------------------------------
+    # Failure knowledge (per-observer view backed by the detector)
+    # ------------------------------------------------------------------
+
+    def known_failed_comm_ranks(self) -> set[int]:
+        """Comm ranks this process currently *knows* to have failed."""
+        known_world = self._proc.runtime.known_failed_set(self._proc.rank)
+        out = set()
+        for cr, wr in enumerate(self.group):
+            if wr in known_world:
+                out.add(cr)
+        return out
+
+    def _known_failed(self, comm_rank: int) -> bool:
+        wr = self.group[comm_rank]
+        return self._proc.runtime.is_known_failed(self._proc.rank, wr)
+
+    def _has_unrecognized_failure(self) -> bool:
+        return bool(self.known_failed_comm_ranks() - self.recognized)
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+
+    def _check_send_args(self, dest: int, tag: int) -> None:
+        if dest != PROC_NULL and not 0 <= dest < self.size:
+            self._raise(
+                InvalidArgumentError(
+                    f"invalid destination rank {dest}",
+                    error_class=ErrorClass.ERR_RANK,
+                    peer=dest,
+                )
+            )
+        if not is_valid_tag(tag):
+            self._raise(
+                InvalidArgumentError(
+                    f"invalid tag {tag}", error_class=ErrorClass.ERR_TAG
+                )
+            )
+
+    def send(
+        self, payload: Any, dest: int, tag: int = 0, nbytes: int | None = None
+    ) -> None:
+        """Standard (eager/buffered) send.
+
+        Raises :class:`RankFailStopError` when *dest* is known-failed and
+        unrecognized — the semantic ``FT_Send_right`` (paper Fig. 5)
+        depends on.
+        """
+        self._proc._mpi_call("send")
+        self._send_common(payload, dest, tag, nbytes, op="send")
+
+    def isend(
+        self, payload: Any, dest: int, tag: int = 0, nbytes: int | None = None
+    ) -> Request:
+        """Non-blocking send; the returned request is already complete
+        (standard sends buffer eagerly in this simulator)."""
+        self._proc._mpi_call("isend")
+        self._send_common(payload, dest, tag, nbytes, op="isend")
+        req = Request(RequestKind.SEND, self._proc, self, peer=dest, tag=tag)
+        req.complete(self._proc.now, status=Status(source=dest, tag=tag))
+        return req
+
+    def issend(
+        self, payload: Any, dest: int, tag: int = 0, nbytes: int | None = None
+    ) -> Request:
+        """Non-blocking synchronous send: the request completes when the
+        message is *matched* by a receive (or in error if the destination
+        dies first)."""
+        self._proc._mpi_call("issend")
+        self._check_send_args(dest, tag)
+        req = Request(RequestKind.SEND, self._proc, self, peer=dest, tag=tag)
+        if dest == PROC_NULL or dest in self.recognized:
+            req.complete(self._proc.now, status=Status(source=dest, tag=tag))
+            return req
+        if self._known_failed(dest):
+            req.complete(
+                self._proc.now,
+                error=ErrorClass.ERR_RANK_FAIL_STOP,
+                status=Status(source=dest, tag=tag,
+                              error=ErrorClass.ERR_RANK_FAIL_STOP),
+            )
+            return req
+        # Like receives, pending synchronous sends carry the *world* rank in
+        # ``peer`` so the detector sweep can match it against failures.
+        req.peer = self.world_rank(dest)
+        self._proc.runtime.post_send(
+            self._proc,
+            dst_world=req.peer,
+            tag=tag,
+            context=self.context(CTX_P2P),
+            payload=payload,
+            nbytes=nbytes,
+            ssend_req=req,
+        )
+        return req
+
+    def ssend(
+        self, payload: Any, dest: int, tag: int = 0, nbytes: int | None = None
+    ) -> None:
+        """Blocking synchronous send (returns once matched)."""
+        self._proc._mpi_call("ssend")
+        req = self.issend(payload, dest, tag, nbytes)
+        from .p2p import wait
+
+        wait(req)
+
+    def _send_common(
+        self, payload: Any, dest: int, tag: int, nbytes: int | None, op: str
+    ) -> None:
+        self._check_not_freed()
+        self._check_send_args(dest, tag)
+        if dest == PROC_NULL:
+            return
+        if dest in self.recognized:
+            # Recognized failed rank: MPI_PROC_NULL semantics.
+            return
+        if self._known_failed(dest):
+            self._raise(
+                RankFailStopError(
+                    f"{op} to failed rank {dest} on {self.name}", peer=dest
+                )
+            )
+        self._proc.runtime.post_send(
+            self._proc,
+            dst_world=self.world_rank(dest),
+            tag=tag,
+            context=self.context(CTX_P2P),
+            payload=payload,
+            nbytes=nbytes,
+        )
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive.
+
+        The returned request completes when a matching message arrives —
+        or *in error* (``MPI_ERR_RANK_FAIL_STOP``) when the failure
+        detector reports the selected source failed.  That error path is
+        the watchdog mechanism of paper Fig. 9.
+        """
+        self._proc._mpi_call("irecv")
+        return self._irecv_common(source, tag)
+
+    def _irecv_common(self, source: int, tag: int) -> Request:
+        self._check_not_freed()
+        if source != PROC_NULL and source != ANY_SOURCE:
+            if not 0 <= source < self.size:
+                self._raise(
+                    InvalidArgumentError(
+                        f"invalid source rank {source}",
+                        error_class=ErrorClass.ERR_RANK,
+                        peer=source,
+                    )
+                )
+        if tag != ANY_TAG and not is_valid_tag(tag):
+            self._raise(
+                InvalidArgumentError(
+                    f"invalid tag {tag}", error_class=ErrorClass.ERR_TAG
+                )
+            )
+        # Requests carry *world* ranks in ``peer`` so the matching engine
+        # and the failure sweep compare like with like; statuses are
+        # translated back to comm ranks at completion.
+        if source in (PROC_NULL, ANY_SOURCE):
+            peer_world = source
+        else:
+            peer_world = self.world_rank(source)
+        req = Request(RequestKind.RECV, self._proc, self, peer=peer_world, tag=tag)
+        if source == PROC_NULL or (source != ANY_SOURCE and source in self.recognized):
+            # PROC_NULL semantics: immediate empty completion.
+            req.complete(
+                self._proc.now,
+                status=Status(source=PROC_NULL, tag=ANY_TAG, count=0),
+            )
+            return req
+        if source != ANY_SOURCE and self._known_failed(source):
+            req.complete(
+                self._proc.now,
+                error=ErrorClass.ERR_RANK_FAIL_STOP,
+                status=Status(source=source, tag=tag,
+                              error=ErrorClass.ERR_RANK_FAIL_STOP),
+            )
+            return req
+        if source == ANY_SOURCE and self._has_unrecognized_failure():
+            req.complete(
+                self._proc.now,
+                error=ErrorClass.ERR_RANK_FAIL_STOP,
+                status=Status(source=ANY_SOURCE, tag=tag,
+                              error=ErrorClass.ERR_RANK_FAIL_STOP),
+            )
+            return req
+        self._proc.runtime.post_recv(self, req)
+        return req
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, Status]:
+        """Blocking receive; returns ``(payload, status)``.
+
+        Raises through the communicator's error handler if the peer fails
+        before a message arrives.
+        """
+        self._proc._mpi_call("recv")
+        req = self._irecv_common(source, tag)
+        from .p2p import wait  # local import: avoids a cycle
+
+        status = wait(req)
+        return req.data, status
+
+    def sendrecv(
+        self,
+        payload: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> tuple[Any, Status]:
+        """Combined send+receive (deadlock-free, as in MPI)."""
+        self._proc._mpi_call("sendrecv")
+        req = self._irecv_common(source, recvtag)
+        self._send_common(payload, dest, sendtag, None, op="sendrecv")
+        from .p2p import wait
+
+        status = wait(req)
+        return req.data, status
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe: wait until a matching message is available."""
+        self._proc._mpi_call("probe")
+        while True:
+            st = self._iprobe_now(source, tag)
+            if st is not None:
+                return st
+            self._proc.runtime.arrival_block(self._proc, "probe")
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Non-blocking probe; ``None`` if no matching message arrived yet."""
+        self._proc._mpi_call("iprobe")
+        st = self._iprobe_now(source, tag)
+        if st is None:
+            self._proc.runtime.poll_block(self._proc, "iprobe")
+            st = self._iprobe_now(source, tag)
+        return st
+
+    def _iprobe_now(self, source: int, tag: int) -> Status | None:
+        if source != ANY_SOURCE and self._known_failed(source) and source not in self.recognized:
+            self._raise(RankFailStopError(f"probe of failed rank {source}", peer=source))
+        if source == ANY_SOURCE and self._has_unrecognized_failure():
+            self._raise(RankFailStopError("probe ANY_SOURCE with unrecognized failure"))
+        src_world = ANY_SOURCE if source == ANY_SOURCE else self.world_rank(source)
+        msg = self._proc.engine.probe(src_world, tag, self.context(CTX_P2P))
+        if msg is None:
+            return None
+        src_cr = self.comm_rank_of_world(msg.src)
+        return Status(source=src_cr if src_cr is not None else msg.src,
+                      tag=msg.tag, count=msg.nbytes)
+
+    # ------------------------------------------------------------------
+    # Communicator management
+    # ------------------------------------------------------------------
+
+    def dup(self, name: str = "") -> "Comm":
+        """Collectively duplicate the communicator.
+
+        Per the FT proposal, failures must be re-recognized on the new
+        communicator: the duplicate starts with empty ``recognized`` /
+        ``validated`` sets even if the parent had recognized failures.
+        """
+        self._proc._mpi_call("comm_dup")
+        op_index = next(self._create_seq)
+        cid = self._proc.runtime.cid_for(self.cid, op_index)
+        return Comm(self._proc, cid, self.group, name or f"{self.name}.dup{op_index}")
+
+    def group_obj(self) -> "Group":
+        """The communicator's membership as a :class:`Group`."""
+        from .group import Group
+
+        return Group(self.group)
+
+    def create(self, group: "Group", name: str = "") -> "Comm | None":
+        """``MPI_Comm_create``: carve a communicator for *group*.
+
+        Collective over the *parent*: every member must call with the same
+        group.  Members outside *group* receive ``None``.  Implemented as
+        a color split, so it inherits the parent's collective failure
+        semantics.
+        """
+        self._proc._mpi_call("comm_create")
+        from .constants import UNDEFINED as _UNDEF
+
+        color = 0 if self._proc.rank in group else _UNDEF
+        try:
+            key = group.rank_of_world(self._proc.rank)
+        except Exception:  # pragma: no cover - defensive
+            key = 0
+        return self.split(color=color, key=key if key >= 0 else 0,
+                          name=name or f"{self.name}.create")
+
+    def free(self) -> None:
+        """``MPI_Comm_free``: mark the handle unusable (local bookkeeping).
+
+        Subsequent operations through this handle raise ``ERR_COMM``.
+        """
+        self._proc._mpi_call("comm_free")
+        self._freed = True
+
+    def _check_not_freed(self) -> None:
+        if getattr(self, "_freed", False):
+            self._raise(
+                InvalidArgumentError(
+                    f"{self.name} has been freed",
+                    error_class=ErrorClass.ERR_COMM,
+                )
+            )
+
+    def split(self, color: int, key: int = 0, name: str = "") -> "Comm | None":
+        """Collectively split by color (``UNDEFINED`` => no new comm).
+
+        Implemented over a real allgather on the parent communicator, so it
+        inherits the parent's failure semantics (it errors if the parent
+        has unrecognized failures, exactly like any collective).
+        """
+        self._proc._mpi_call("comm_split")
+        from .collectives import allgather
+
+        op_index = next(self._create_seq)
+        triples = allgather(self, (color, key, self.rank))
+        members: list[tuple[int, int, int]] = [
+            t for t in triples if t is not None and t[0] == color and color != UNDEFINED
+        ]
+        if color == UNDEFINED:
+            return None
+        members.sort(key=lambda t: (t[1], t[2]))
+        group = tuple(self.group[t[2]] for t in members)
+        cid = self._proc.runtime.cid_for(self.cid, op_index, color=color)
+        return Comm(self._proc, cid, group, name or f"{self.name}.split{op_index}.{color}")
+
+    # Collective entry points (implementations live in collectives.py).
+
+    def barrier(self) -> None:
+        """Collective barrier over the validated membership."""
+        from .collectives import barrier
+
+        barrier(self)
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast from *root*; returns the payload at every rank."""
+        from .collectives import bcast
+
+        return bcast(self, payload, root)
+
+    def reduce(self, value: Any, op: str | Any = "sum", root: int = 0) -> Any:
+        """Reduce to *root*; returns the result at root, ``None`` elsewhere."""
+        from .collectives import reduce as _reduce
+
+        return _reduce(self, value, op, root)
+
+    def allreduce(self, value: Any, op: str | Any = "sum") -> Any:
+        """Reduce-to-all."""
+        from .collectives import allreduce
+
+        return allreduce(self, value, op)
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather to *root* (list indexed by comm rank; failed-validated
+        ranks contribute ``None``)."""
+        from .collectives import gather
+
+        return gather(self, value, root)
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter from *root*."""
+        from .collectives import scatter
+
+        return scatter(self, values, root)
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather-to-all (ring algorithm)."""
+        from .collectives import allgather
+
+        return allgather(self, value)
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all exchange."""
+        from .collectives import alltoall
+
+        return alltoall(self, values)
+
+    def scan(self, value: Any, op: str | Any = "sum") -> Any:
+        """Inclusive prefix reduction."""
+        from .collectives import scan
+
+        return scan(self, value, op)
+
+    def exscan(self, value: Any, op: str | Any = "sum") -> Any:
+        """Exclusive prefix reduction (participant 0 gets ``None``)."""
+        from .collectives import exscan
+
+        return exscan(self, value, op)
+
+    def reduce_scatter(self, values: Sequence[Any], op: str | Any = "sum") -> Any:
+        """Reduce per-rank slots, scatter slot ``i`` to comm rank ``i``."""
+        from .collectives import reduce_scatter
+
+        return reduce_scatter(self, values, op)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Comm({self.name}, cid={self.cid}, rank={self.rank}/{self.size}, "
+            f"recognized={sorted(self.recognized)}, validated={sorted(self.validated)})"
+        )

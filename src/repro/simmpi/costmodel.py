@@ -1,0 +1,93 @@
+"""Communication cost models for the simulated network.
+
+The default model is LogGP-flavoured [Alexandrov et al. 1995]:
+
+* ``o``  — CPU overhead paid by the sender (and receiver) per message,
+* ``L``  — wire latency between any pair of ranks,
+* ``G``  — per-byte gap (inverse bandwidth).
+
+A message of ``n`` bytes posted at sender-local time ``t`` occupies the
+sender until ``t + o`` and arrives at the receiver at
+``t + o + L + n * G``.  The model is deliberately simple — the paper's
+content is protocol *behaviour*, not absolute performance — but it is
+pluggable so benchmarks can sweep latency/bandwidth regimes, and a
+non-uniform :class:`HierarchicalCostModel` is provided for
+multi-node-flavoured topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Uniform LogGP-style cost model.
+
+    Parameters
+    ----------
+    latency:
+        Wire latency ``L`` in virtual seconds.
+    byte_cost:
+        Per-byte gap ``G`` in virtual seconds/byte.
+    overhead:
+        Per-message CPU overhead ``o`` in virtual seconds.
+    """
+
+    latency: float = 1e-6
+    byte_cost: float = 1e-9
+    overhead: float = 2e-7
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.byte_cost < 0 or self.overhead < 0:
+            raise ValueError("cost model parameters must be non-negative")
+
+    def send_overhead(self, src: int, dst: int, nbytes: int) -> float:
+        """CPU time the sender spends injecting one message."""
+        return self.overhead
+
+    def recv_overhead(self, src: int, dst: int, nbytes: int) -> float:
+        """CPU time the receiver spends extracting one message."""
+        return self.overhead
+
+    def transit_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Time from injection completion to arrival at the destination."""
+        return self.latency + nbytes * self.byte_cost
+
+
+@dataclass(frozen=True)
+class HierarchicalCostModel(CostModel):
+    """Two-level cost model: cheap intra-node, expensive inter-node links.
+
+    Ranks are laid out block-wise across nodes of ``ranks_per_node`` each.
+    A pair of ranks on the same node communicates with the base-class
+    parameters; a pair on different nodes pays ``remote_latency`` and
+    ``remote_byte_cost`` instead.
+    """
+
+    ranks_per_node: int = 4
+    remote_latency: float = 1e-5
+    remote_byte_cost: float = 1e-8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+        if self.remote_latency < 0 or self.remote_byte_cost < 0:
+            raise ValueError("remote cost parameters must be non-negative")
+
+    def _same_node(self, src: int, dst: int) -> bool:
+        return src // self.ranks_per_node == dst // self.ranks_per_node
+
+    def transit_time(self, src: int, dst: int, nbytes: int) -> float:
+        if self._same_node(src, dst):
+            return self.latency + nbytes * self.byte_cost
+        return self.remote_latency + nbytes * self.remote_byte_cost
+
+
+#: A cost model in which every operation is free.  Useful for tests that
+#: reason purely about orderings (all timestamps collapse to event order).
+ZERO_COST = CostModel(latency=0.0, byte_cost=0.0, overhead=0.0)
+
+#: The default model used by :class:`~repro.simmpi.runtime.Simulation`.
+DEFAULT_COST = CostModel()

@@ -1,0 +1,105 @@
+"""MPI group objects and set operations.
+
+The paper notes the Open MPI prototype supports "all of MPI-1
+functionality including collective and group management operations"; this
+module provides the group half: immutable ordered sets of world ranks
+with the standard MPI-1 set algebra (`incl`/`excl`/`union`/
+`intersection`/`difference`) and rank translation.  Communicators expose
+their membership as a :class:`Group` and can be carved from one with
+``Comm.create`` (see :mod:`repro.simmpi.communicator`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .constants import UNDEFINED
+from .errors import ErrorClass, InvalidArgumentError
+
+
+class Group:
+    """An immutable, ordered set of world ranks (``MPI_Group``)."""
+
+    __slots__ = ("_ranks", "_index")
+
+    def __init__(self, ranks: Iterable[int]) -> None:
+        ranks = tuple(ranks)
+        if len(set(ranks)) != len(ranks):
+            raise InvalidArgumentError(
+                f"group contains duplicate ranks: {ranks}",
+                error_class=ErrorClass.ERR_ARG,
+            )
+        self._ranks = ranks
+        self._index = {wr: i for i, wr in enumerate(ranks)}
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of members (``MPI_Group_size``)."""
+        return len(self._ranks)
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """World ranks, indexed by group rank."""
+        return self._ranks
+
+    def rank_of_world(self, world_rank: int) -> int:
+        """Group rank of a world rank, or ``UNDEFINED`` (``MPI_Group_rank``)."""
+        return self._index.get(world_rank, UNDEFINED)
+
+    def world_rank(self, group_rank: int) -> int:
+        """World rank of a group rank."""
+        if not 0 <= group_rank < len(self._ranks):
+            raise InvalidArgumentError(
+                f"group rank {group_rank} out of range",
+                error_class=ErrorClass.ERR_RANK,
+            )
+        return self._ranks[group_rank]
+
+    def translate_ranks(
+        self, ranks: Sequence[int], other: "Group"
+    ) -> list[int]:
+        """``MPI_Group_translate_ranks``: my group ranks -> other's ranks."""
+        return [other.rank_of_world(self.world_rank(r)) for r in ranks]
+
+    # -- set algebra ----------------------------------------------------------
+
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        """Subgroup of the given group ranks, in the given order."""
+        return Group(self.world_rank(r) for r in ranks)
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        """Subgroup without the given group ranks, original order kept."""
+        drop = {self.world_rank(r) for r in ranks}
+        return Group(wr for wr in self._ranks if wr not in drop)
+
+    def union(self, other: "Group") -> "Group":
+        """Members of self, then members of other not already present."""
+        extra = [wr for wr in other._ranks if wr not in self._index]
+        return Group(self._ranks + tuple(extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        """Members of self that are also in other, in self's order."""
+        return Group(wr for wr in self._ranks if wr in other._index)
+
+    def difference(self, other: "Group") -> "Group":
+        """Members of self not in other, in self's order."""
+        return Group(wr for wr in self._ranks if wr not in other._index)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group{self._ranks}"

@@ -1,0 +1,159 @@
+"""Message envelopes and the per-process matching engine.
+
+MPI matching semantics implemented here:
+
+* A receive matches on ``(source, tag, context)`` with ``ANY_SOURCE`` /
+  ``ANY_TAG`` wildcards.
+* **Non-overtaking**: two messages sent on the same (source, destination,
+  context) channel match posted receives in send order.  The transport
+  enforces in-order delivery per channel, and the matching engine scans
+  arrival queues front to back, so the combination preserves MPI's rule.
+* Messages arriving before a matching receive is posted park in the
+  *unexpected queue*; receives posted with no matching arrival park in the
+  *posted queue*.
+
+The engine is purely mechanical — failure semantics (erroring pending
+receives whose peer died) live in the runtime, which owns the failure
+knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from .constants import ANY_SOURCE, ANY_TAG
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .request import Request
+
+
+@dataclass
+class Message:
+    """One message envelope traveling through the simulated network."""
+
+    src: int
+    dst: int
+    tag: int
+    context: int
+    payload: Any
+    nbytes: int
+    #: Per-simulation send order (assigned by the runtime; deterministic).
+    msg_id: int = 0
+    #: Sender-local virtual time when the send was posted.
+    send_time: float = 0.0
+    #: Virtual time the message reaches the destination's queues.
+    deliver_time: float = 0.0
+    #: Synchronous-send request riding on this message, completed when the
+    #: message is matched (or completed in error when it is dropped).
+    ssend_req: Any = None
+
+    def matches(self, source: int, tag: int, context: int) -> bool:
+        """True if this envelope satisfies a receive's selection criteria."""
+        if context != self.context:
+            return False
+        if source != ANY_SOURCE and source != self.src:
+            return False
+        if tag != ANY_TAG and tag != self.tag:
+            return False
+        return True
+
+
+class MatchingEngine:
+    """Posted-receive and unexpected-message queues for one process.
+
+    Queues are keyed by context id so that traffic on different
+    communicators (and on the hidden collective contexts) never interferes.
+    """
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self._unexpected: dict[int, list[Message]] = {}
+        self._posted: dict[int, list["Request"]] = {}
+
+    # -- arrival path -----------------------------------------------------
+
+    def deliver(self, msg: Message) -> "Request | None":
+        """Offer an arriving message to the posted queue.
+
+        Returns the matched receive request (not yet completed — the
+        runtime completes it so it can stamp times and traces), or ``None``
+        if the message was queued as unexpected.
+        """
+        posted = self._posted.get(msg.context, [])
+        for i, req in enumerate(posted):
+            if self._recv_accepts(req, msg):
+                del posted[i]
+                return req
+        self._unexpected.setdefault(msg.context, []).append(msg)
+        return None
+
+    @staticmethod
+    def _recv_accepts(req: "Request", msg: Message) -> bool:
+        if req.peer != ANY_SOURCE and req.peer != msg.src:
+            return False
+        if req.tag != ANY_TAG and req.tag != msg.tag:
+            return False
+        return True
+
+    # -- post path --------------------------------------------------------
+
+    def post_recv(self, req: "Request", context: int) -> Message | None:
+        """Post a receive; return an already-arrived matching message if any.
+
+        When a message is returned the request is *not* queued; the runtime
+        completes it immediately.  Otherwise the request joins the posted
+        queue to await future arrivals.
+        """
+        queue = self._unexpected.get(context, [])
+        for i, msg in enumerate(queue):
+            if self._recv_accepts(req, msg):
+                del queue[i]
+                return msg
+        self._posted.setdefault(context, []).append(req)
+        return None
+
+    def cancel_recv(self, req: "Request") -> bool:
+        """Remove a posted receive; True if it was found (not yet matched)."""
+        for queue in self._posted.values():
+            if req in queue:
+                queue.remove(req)
+                return True
+        return False
+
+    # -- failure sweep support ---------------------------------------------
+
+    def pending_recvs(self) -> list["Request"]:
+        """All currently posted (unmatched) receive requests."""
+        out: list[Request] = []
+        for queue in self._posted.values():
+            out.extend(queue)
+        return out
+
+    def remove_posted(self, req: "Request") -> None:
+        """Drop a posted receive that the runtime completed in error."""
+        self.cancel_recv(req)
+
+    def unexpected_from(self, src: int, context: int | None = None) -> list[Message]:
+        """Unexpected messages from *src* (diagnostics; delivered messages
+        from a failed sender remain matchable — fail-stop wire semantics)."""
+        out = []
+        for ctx, queue in self._unexpected.items():
+            if context is not None and ctx != context:
+                continue
+            out.extend(m for m in queue if m.src == src)
+        return out
+
+    def probe(self, source: int, tag: int, context: int) -> Message | None:
+        """Return (without removing) the first matching unexpected message."""
+        for msg in self._unexpected.get(context, []):
+            if msg.matches(source, tag, context):
+                return msg
+        return None
+
+    def stats(self) -> dict[str, int]:
+        """Queue depths, for runtime diagnostics and tests."""
+        return {
+            "posted": sum(len(q) for q in self._posted.values()),
+            "unexpected": sum(len(q) for q in self._unexpected.values()),
+        }

@@ -1,0 +1,162 @@
+"""The simulated MPI process.
+
+A :class:`SimProcess` couples one scheduler fiber with the per-process
+runtime state: a local virtual clock (which may run ahead of the global
+clock during local computation), the message matching engine, the MPI call
+counter used by fault injectors, and the handful of application-facing
+helpers (``compute``, ``probe_point``, ``log``, ``abort``).
+
+Application code receives a :class:`SimProcess` as its only argument and
+reaches MPI through :attr:`SimProcess.comm_world` (or communicators
+derived from it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, NoReturn
+
+from .errors import JobAborted
+from .scheduler import Fiber, FiberState
+from .matching import MatchingEngine
+from .trace import TraceKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .communicator import Comm
+    from .runtime import Runtime
+
+
+class SimProcess:
+    """One simulated MPI rank.
+
+    Application-facing surface: :attr:`rank`, :attr:`size`,
+    :attr:`comm_world`, :attr:`now`, :meth:`compute`, :meth:`sleep`,
+    :meth:`probe_point`, :meth:`log`, :meth:`abort`.  Everything else is
+    runtime plumbing.
+    """
+
+    def __init__(self, runtime: "Runtime", rank: int) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        #: Local virtual clock; monotone, may lead the global clock.
+        self.now = 0.0
+        self.engine = MatchingEngine(rank)
+        self.fiber: Fiber | None = None  # attached by the runtime
+        #: Number of MPI calls this process has issued (fault injection).
+        self.call_count = 0
+        #: Hit counts per probe-point name (fault injection windows).
+        self.probe_counts: dict[str, int] = {}
+        #: World communicator handle for this process.
+        self.comm_world: "Comm | None" = None
+        #: Failure time if this process failed (ground truth).
+        self.failed_at: float | None = None
+        #: Set while the process sleeps awaiting any message arrival
+        #: (blocking probe); the transport wakes it on the next delivery.
+        self.wants_arrival_wake = False
+
+    # ------------------------------------------------------------------
+    # Application-facing helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> int:
+        """Scheduling-policy index (the world rank)."""
+        return self.rank
+
+    @property
+    def size(self) -> int:
+        """World size (number of ranks the job started with)."""
+        return self.runtime.nprocs
+
+    def compute(self, dt: float) -> None:
+        """Model *dt* virtual seconds of local computation.
+
+        The process yields to the simulator and resumes once the virtual
+        clock has advanced, letting other ranks' events interleave exactly
+        as they would during a real compute phase.
+        """
+        if dt < 0:
+            raise ValueError("compute() requires dt >= 0")
+        self._mpi_call("compute")
+        deadline = self.now + dt
+        self.runtime.schedule_wake(self, deadline, "compute")
+        while self.now < deadline:
+            self.block(f"compute until t={deadline:.9f}")
+        self.now = max(self.now, deadline)
+
+    def sleep(self, dt: float) -> None:
+        """Alias of :meth:`compute` (idle instead of busy; same cost)."""
+        self.compute(dt)
+
+    def probe_point(self, name: str) -> None:
+        """Mark a named fault-injection window in application code.
+
+        Fault schedules can kill a rank "at the k-th hit of probe ``name``",
+        which is how the benchmark harness reproduces the paper's
+        failure-between-recv-and-send scenarios deterministically.
+        """
+        self.probe_counts[name] = self.probe_counts.get(name, 0) + 1
+        self.runtime.trace.record(self.now, TraceKind.PROBE, self.rank, name=name,
+                                  hit=self.probe_counts[name])
+        self.runtime.check_injection(self, probe=name)
+
+    def log(self, message: str, **detail: Any) -> None:
+        """Record an application message in the simulation trace."""
+        self.runtime.trace.record(
+            self.now, TraceKind.USER, self.rank, message=message, **detail
+        )
+
+    def abort(self, code: int = -1) -> NoReturn:
+        """``MPI_Abort``: terminate the entire simulated job."""
+        self.runtime.trace.record(self.now, TraceKind.ABORT, self.rank, code=code)
+        self.runtime.trigger_abort(JobAborted(code, self.rank))
+
+    # ------------------------------------------------------------------
+    # Runtime plumbing
+    # ------------------------------------------------------------------
+
+    def attach_fiber(self, fiber: Fiber) -> None:
+        self.fiber = fiber
+
+    @property
+    def state(self) -> FiberState:
+        assert self.fiber is not None
+        return self.fiber.state
+
+    def alive(self) -> bool:
+        """Ground truth: has this process *not* suffered fail-stop?"""
+        return self.failed_at is None
+
+    def block(self, reason: str) -> None:
+        """Yield to the scheduler until woken (called from the fiber thread)."""
+        assert self.fiber is not None
+        self.fiber.state = FiberState.BLOCKED
+        self.fiber.block_reason = reason
+        self.fiber.yield_to_scheduler()
+
+    def wake(self, time: float, why: str) -> None:
+        """Make this process runnable at virtual *time* (scheduler thread)."""
+        assert self.fiber is not None
+        self.now = max(self.now, time)
+        if self.fiber.state is FiberState.BLOCKED:
+            self.fiber.state = FiberState.READY
+            self.fiber.block_reason = ""
+            self.runtime.enqueue_ready(self)
+
+    def _mpi_call(self, opname: str) -> None:
+        """Per-call hook: bump the call counter, consult fault injection."""
+        if self.failed_at is not None:
+            # A killed process never re-enters MPI; unwind immediately.
+            from .errors import ProcessKilled
+
+            raise ProcessKilled()
+        self.call_count += 1
+        self.runtime.check_injection(self, op=opname)
+
+    def wait_description(self) -> str:
+        """What this process is blocked on (deadlock reports)."""
+        assert self.fiber is not None
+        return self.fiber.block_reason or "<running>"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        st = self.fiber.state.value if self.fiber else "detached"
+        return f"SimProcess(rank={self.rank}, t={self.now:.9f}, {st})"

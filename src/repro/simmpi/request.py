@@ -1,0 +1,192 @@
+"""Requests and statuses for non-blocking operations.
+
+A :class:`Request` is the handle returned by ``isend``/``irecv`` (and by
+the non-blocking validate collective).  Requests are completed by the
+runtime — on message match, on send buffering, on consensus decision, or
+*in error* when the failure detector learns that a peer of the operation
+has failed.  That last path is the load-bearing semantic of the paper: a
+pending receive posted to a rank that subsequently fails completes with
+``MPI_ERR_RANK_FAIL_STOP``, which is what lets the ring use a posted
+``MPI_Irecv`` as a failure detector for its right-hand neighbor.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable
+
+from .constants import ANY_SOURCE, ANY_TAG
+from .errors import ErrorClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .communicator import Comm
+    from .process import SimProcess
+
+
+class Status:
+    """Completion information for one operation (``MPI_Status``)."""
+
+    __slots__ = ("source", "tag", "error", "count", "cancelled")
+
+    def __init__(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        error: ErrorClass = ErrorClass.SUCCESS,
+        count: int = 0,
+        cancelled: bool = False,
+    ) -> None:
+        self.source = source
+        self.tag = tag
+        self.error = error
+        self.count = count
+        self.cancelled = cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Status(source={self.source}, tag={self.tag}, "
+            f"error={self.error!s}, count={self.count})"
+        )
+
+
+class RequestKind(enum.Enum):
+    """What operation a request tracks."""
+
+    SEND = "send"
+    RECV = "recv"
+    VALIDATE = "validate"  # non-blocking collective validate
+    GENERIC = "generic"  # internal / extension requests
+
+
+class Request:
+    """Handle for a pending non-blocking operation.
+
+    The runtime completes a request exactly once, either successfully (with
+    a payload for receives) or with an :class:`ErrorClass`.  Processes
+    blocked in ``wait*`` on the request are woken at the completion's
+    virtual time.
+    """
+
+    __slots__ = (
+        "id",
+        "kind",
+        "comm",
+        "owner",
+        "peer",
+        "tag",
+        "done",
+        "error",
+        "status",
+        "data",
+        "completion_time",
+        "cancelled",
+        "_waiters",
+        "_on_complete",
+        "user_label",
+        "context",
+    )
+
+    def __init__(
+        self,
+        kind: RequestKind,
+        owner: "SimProcess",
+        comm: "Comm | None" = None,
+        peer: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        label: str = "",
+    ) -> None:
+        # Per-simulation id so identical seeds yield identical traces.
+        self.id = owner.runtime.next_request_id()
+        self.kind = kind
+        self.owner = owner
+        self.comm = comm
+        #: Remote rank of the operation (source for recv, dest for send).
+        self.peer = peer
+        self.tag = tag
+        self.done = False
+        self.error: ErrorClass | None = None
+        self.status: Status | None = None
+        #: For receives: the delivered payload.  For validates: the decision.
+        self.data: Any = None
+        self.completion_time: float | None = None
+        self.cancelled = False
+        self._waiters: list[SimProcess] = []
+        self._on_complete: list[Callable[[Request], None]] = []
+        self.user_label = label
+        #: Message context the request was posted under (set by the
+        #: runtime at post time; the failure sweep uses it to identify
+        #: collective-context receives).
+        self.context: int | None = None
+
+    # -- runtime side -----------------------------------------------------
+
+    def complete(
+        self,
+        time: float,
+        *,
+        error: ErrorClass | None = None,
+        status: Status | None = None,
+        data: Any = None,
+    ) -> None:
+        """Mark the request complete and wake any waiters.
+
+        Completing an already-complete request is a runtime bug and raises.
+        """
+        if self.done:
+            raise RuntimeError(f"request {self.id} completed twice")
+        self.done = True
+        self.error = error if error not in (None, ErrorClass.SUCCESS) else None
+        self.status = status or Status(error=self.error or ErrorClass.SUCCESS)
+        if self.error is not None:
+            self.status.error = self.error
+        self.data = data
+        self.completion_time = time
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc.wake(time, f"request {self.id} complete")
+        callbacks, self._on_complete = self._on_complete, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_waiter(self, proc: "SimProcess") -> None:
+        """Register *proc* to be woken when this request completes."""
+        if proc not in self._waiters:
+            self._waiters.append(proc)
+
+    def remove_waiter(self, proc: "SimProcess") -> None:
+        """Unregister a waiter (after a wait returns or is abandoned)."""
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+
+    def on_complete(self, cb: Callable[["Request"], None]) -> None:
+        """Register a runtime callback fired at completion (AM layer glue)."""
+        if self.done:
+            cb(self)
+        else:
+            self._on_complete.append(cb)
+
+    def cancel(self) -> None:
+        """Cancel a pending receive (best-effort, as in MPI).
+
+        A completed request cannot be cancelled.  Cancelling removes the
+        posted receive from the matching engine via the owner's runtime.
+        """
+        if self.done:
+            return
+        self.cancelled = True
+        self.owner.runtime.cancel_request(self)
+
+    def failed(self) -> bool:
+        """True if the request completed in error."""
+        return self.done and self.error is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "pending"
+            if not self.done
+            else ("error:" + str(self.error) if self.error else "ok")
+        )
+        return (
+            f"Request(id={self.id}, {self.kind.value}, owner={self.owner.rank}, "
+            f"peer={self.peer}, tag={self.tag}, {state})"
+        )

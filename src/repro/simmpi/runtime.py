@@ -1,0 +1,772 @@
+"""The simulation kernel: event loop, transport, failures, detection.
+
+:class:`Runtime` wires every substrate piece together:
+
+* runs the deterministic scheduler loop (runnable fibers first, then the
+  earliest event; **deadlock is detected** when neither exists but alive
+  processes remain blocked — the simulator's proof of a hang);
+* implements the transport (send posting, per-channel in-order delivery,
+  matching, receive completion) on the LogGP cost model;
+* implements **fail-stop failures**: a killed process unwinds immediately
+  and never communicates again; messages already injected into the network
+  still arrive (wire semantics — the paper's Fig. 8 duplicate scenario
+  depends on this);
+* implements the **perfect failure detector**: every failure becomes known
+  to every surviving observer after a per-observer detection latency, at
+  which point the observer's pending receives involving the dead rank
+  complete with ``MPI_ERR_RANK_FAIL_STOP`` and failure listeners (the
+  consensus engine) are notified.
+
+:class:`Simulation` is the user-facing facade; see its docstring for the
+typical driver loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .clock import EventQueue, VirtualClock
+from .communicator import Comm
+from .constants import ANY_SOURCE
+from .costmodel import DEFAULT_COST, CostModel
+from .errors import (
+    ErrorClass,
+    JobAborted,
+    ProcessKilled,
+    SimShutdown,
+    SimulationDeadlock,
+    SimulationError,
+)
+from .matching import Message
+from .process import SimProcess
+from .request import Request, Status
+from .scheduler import Fiber, FiberState, SchedulingPolicy, make_policy
+from .trace import Trace, TraceKind
+from .util import payload_nbytes
+
+
+class SimulationLimitExceeded(Exception):
+    """The event or virtual-time budget was exhausted (runaway guard)."""
+
+
+#: Type of a failure listener: ``fn(observer_rank, failed_world_rank, time)``.
+FailureListener = Callable[[int, int, float], None]
+
+#: Type of an active-message handler: ``fn(msg, time)``.
+AMHandler = Callable[[Message, float], None]
+
+
+class Runtime:
+    """Internal simulation kernel (use :class:`Simulation` to drive it)."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        *,
+        cost: CostModel = DEFAULT_COST,
+        policy: str | SchedulingPolicy = "rr",
+        seed: int = 0,
+        detection_latency: float | Callable[[int, int], float] = 0.0,
+        trace_enabled: bool = True,
+        max_events: int = 20_000_000,
+        max_time: float = float("inf"),
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self.cost = cost
+        self.seed = seed
+        self.policy = make_policy(policy, seed)
+        self.policy.reset()
+        self.clock = VirtualClock()
+        self.events = EventQueue()
+        self.trace = Trace(enabled=trace_enabled)
+        self.max_events = max_events
+        self.max_time = max_time
+        self._detection_latency = detection_latency
+        self.procs: list[SimProcess] = [SimProcess(self, r) for r in range(nprocs)]
+        self._ready: deque[SimProcess] = deque()
+        #: Ground-truth failed world ranks.
+        self.failed: set[int] = set()
+        #: Per-observer knowledge: observer world rank -> known failed set.
+        self.known_by: dict[int, set[int]] = {r: set() for r in range(nprocs)}
+        self._failure_listeners: dict[int, list[FailureListener]] = {}
+        self._am_handlers: dict[tuple[int, int], AMHandler] = {}
+        self._channel_last: dict[tuple[int, int, int], float] = {}
+        #: Pending synchronous-send requests, keyed by owner rank, so the
+        #: detector sweep can fail them when their destination dies.
+        self._pending_ssends: dict[int, list[Request]] = {}
+        self._cid_registry: dict[tuple[int, int, Any], int] = {}
+        self._next_cid = 1  # cid 0 is COMM_WORLD
+        self.abort_info: JobAborted | None = None
+        self.deadlock: SimulationDeadlock | None = None
+        self.injectors: list[Any] = []
+        self._events_executed = 0
+        self._poll_dt = max(cost.overhead, 1e-9)
+        self._msg_seq = 0
+        self._req_seq = 0
+        world = tuple(range(nprocs))
+        for p in self.procs:
+            p.comm_world = Comm(p, 0, world, name="world")
+
+    # ------------------------------------------------------------------
+    # Scheduling plumbing
+    # ------------------------------------------------------------------
+
+    def next_request_id(self) -> int:
+        """Allocate a per-simulation request id (deterministic)."""
+        self._req_seq += 1
+        return self._req_seq
+
+    def next_message_id(self) -> int:
+        """Allocate a per-simulation message id (deterministic)."""
+        self._msg_seq += 1
+        return self._msg_seq
+
+    def enqueue_ready(self, proc: SimProcess) -> None:
+        """Add a newly-runnable process to the ready queue."""
+        self._ready.append(proc)
+
+    def schedule(self, time: float, fn: Callable[[], None], label: str = "") -> None:
+        """Schedule a raw event (runtime-internal)."""
+        self.events.schedule(time, fn, label)
+
+    def schedule_wake(self, proc: SimProcess, time: float, label: str) -> None:
+        """Schedule *proc* to wake at virtual *time*."""
+        self.events.schedule(time, lambda: proc.wake(time, label), f"wake:{label}")
+
+    def poll_block(self, proc: SimProcess, label: str) -> None:
+        """Block *proc* for one poll interval (non-blocking-call progress)."""
+        deadline = proc.now + self._poll_dt
+        self.schedule_wake(proc, deadline, label)
+        while proc.now < deadline:
+            proc.block(f"poll:{label}")
+
+    def arrival_block(self, proc: SimProcess, label: str) -> None:
+        """Block *proc* until the next message delivery addressed to it.
+
+        Used by blocking probe: event-driven, so waiting across a long
+        idle gap costs one event instead of millions of polls.
+        """
+        proc.wants_arrival_wake = True
+        proc.block(f"await-arrival:{label}")
+        proc.wants_arrival_wake = False
+
+    # ------------------------------------------------------------------
+    # Failure knowledge
+    # ------------------------------------------------------------------
+
+    def is_known_failed(self, observer: int, world_rank: int) -> bool:
+        """Does *observer* currently know that *world_rank* failed?"""
+        return world_rank in self.known_by[observer]
+
+    def known_failed_set(self, observer: int) -> frozenset[int]:
+        """The set of world ranks *observer* knows to have failed."""
+        return frozenset(self.known_by[observer])
+
+    def add_failure_listener(self, observer: int, fn: FailureListener) -> None:
+        """Notify *fn* whenever *observer* learns of a failure."""
+        self._failure_listeners.setdefault(observer, []).append(fn)
+
+    def detection_delay(self, observer: int, failed: int) -> float:
+        if callable(self._detection_latency):
+            return float(self._detection_latency(observer, failed))
+        return float(self._detection_latency)
+
+    # ------------------------------------------------------------------
+    # Fail-stop machinery
+    # ------------------------------------------------------------------
+
+    def kill_now(self, proc: SimProcess) -> None:
+        """Fail-stop *proc* at its current local time, from its own thread.
+
+        Used by fault injectors at MPI-call and probe-point windows.
+        Raises :class:`ProcessKilled` (never returns normally).
+        """
+        self._mark_failed(proc, proc.now)
+        raise ProcessKilled()
+
+    def kill_at(self, rank: int, time: float) -> None:
+        """Schedule a fail-stop of *rank* at virtual *time* (event path)."""
+        self.events.schedule(time, lambda: self._kill_event(rank, time),
+                             f"kill:r{rank}")
+
+    def _kill_event(self, rank: int, time: float) -> None:
+        proc = self.procs[rank]
+        if not proc.alive():
+            return
+        if proc.fiber is not None and proc.fiber.finished():
+            return  # the process already exited; nothing left to kill
+        self._mark_failed(proc, time)
+        fiber = proc.fiber
+        assert fiber is not None
+        if fiber.state is FiberState.BLOCKED:
+            # Unwind the thread now so it never runs application code again.
+            fiber.kill_pending = True
+            fiber.resume_and_wait()
+        elif fiber.state in (FiberState.READY, FiberState.NEW):
+            fiber.kill_pending = True  # unwinds when next scheduled
+        # RUNNING is impossible: events execute only between fiber slices.
+
+    def _mark_failed(self, proc: SimProcess, time: float) -> None:
+        proc.failed_at = time
+        self.failed.add(proc.rank)
+        self.trace.record(time, TraceKind.FAILURE, proc.rank)
+        for observer in range(self.nprocs):
+            if observer == proc.rank:
+                continue
+            delay = self.detection_delay(observer, proc.rank)
+            when = time + delay
+            self.events.schedule(
+                when,
+                lambda o=observer, f=proc.rank, w=when: self._detect_event(o, f, w),
+                f"detect:r{proc.rank}@r{observer}",
+            )
+
+    def _detect_event(self, observer: int, failed: int, time: float) -> None:
+        obs = self.procs[observer]
+        if not obs.alive():
+            return
+        if failed in self.known_by[observer]:
+            return
+        self.known_by[observer].add(failed)
+        self.trace.record(time, TraceKind.DETECT, observer, failed=failed)
+        if obs.wants_arrival_wake:
+            # A blocking probe must re-check its source against the new
+            # failure knowledge (it may need to raise FAIL_STOP).
+            obs.wants_arrival_wake = False
+            obs.wake(time, "failure detected while probing")
+        self._sweep_pending(obs, failed, time)
+        for fn in self._failure_listeners.get(observer, []):
+            fn(observer, failed, time)
+
+    def _sweep_pending(self, obs: SimProcess, failed: int, time: float) -> None:
+        """Error the observer's pending operations that involve *failed*.
+
+        This implements the paper's "all posted receive operations
+        involving that peer will return an error in the class
+        ``MPI_ERR_RANK_FAIL_STOP``" — the watchdog-Irecv mechanism.
+        """
+        for req in list(self._pending_ssends.get(obs.rank, [])):
+            if req.peer == failed and not req.done:
+                self.trace.record(
+                    time, TraceKind.REQ_ERROR, obs.rank,
+                    req=req.id, peer=failed, reqkind="ssend",
+                )
+                req.complete(
+                    time,
+                    error=ErrorClass.ERR_RANK_FAIL_STOP,
+                    status=Status(source=failed, tag=req.tag,
+                                  error=ErrorClass.ERR_RANK_FAIL_STOP),
+                )
+        from .communicator import CONTEXTS_PER_COMM, CTX_COLL
+
+        for req in list(obs.engine.pending_recvs()):
+            hit = False
+            if req.peer == failed:
+                hit = True
+            elif req.peer == ANY_SOURCE and req.comm is not None:
+                cr = req.comm.comm_rank_of_world(failed)
+                if cr is not None and cr not in req.comm.recognized:
+                    hit = True
+            elif (
+                req.comm is not None
+                and req.context is not None
+                and req.context % CONTEXTS_PER_COMM == CTX_COLL
+                and req.comm.comm_rank_of_world(failed) is not None
+            ):
+                # RTS rule: once any member of the communicator fails,
+                # *all* collective operations return an error until the
+                # collective validate — including receives inside a
+                # collective that are addressed to still-alive peers
+                # (those peers may have already abandoned the collective).
+                hit = True
+            if hit:
+                obs.engine.remove_posted(req)
+                src = req.peer if req.peer != ANY_SOURCE else failed
+                self.trace.record(
+                    time, TraceKind.REQ_ERROR, obs.rank,
+                    req=req.id, peer=failed, reqkind=req.kind.value,
+                )
+                req.complete(
+                    time,
+                    error=ErrorClass.ERR_RANK_FAIL_STOP,
+                    status=Status(source=src, tag=req.tag,
+                                  error=ErrorClass.ERR_RANK_FAIL_STOP),
+                )
+
+    # ------------------------------------------------------------------
+    # Fault injection hooks
+    # ------------------------------------------------------------------
+
+    def track_peer_request(self, owner_rank: int, req: Request) -> None:
+        """Register a request that must error if its ``peer`` rank dies.
+
+        Used by synchronous sends and RMA operations: their completion
+        depends on the remote side, so the detector sweep fails them with
+        ``MPI_ERR_RANK_FAIL_STOP`` when the peer is reported dead.
+        """
+        pending = self._pending_ssends.setdefault(owner_rank, [])
+        pending.append(req)
+        req.on_complete(
+            lambda r, lst=pending: lst.remove(r) if r in lst else None
+        )
+
+    def check_injection(
+        self, proc: SimProcess, op: str | None = None, probe: str | None = None
+    ) -> None:
+        """Consult every armed injector at an MPI-call or probe window."""
+        if not self.injectors or not proc.alive():
+            return
+        for inj in self.injectors:
+            if inj.should_kill(proc, op=op, probe=probe):
+                self.kill_now(proc)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def post_send(
+        self,
+        proc: SimProcess,
+        *,
+        dst_world: int,
+        tag: int,
+        context: int,
+        payload: Any,
+        nbytes: int | None = None,
+        ssend_req: Request | None = None,
+    ) -> None:
+        """Inject one message into the network from *proc* (eager send)."""
+        size = payload_nbytes(payload) if nbytes is None else nbytes
+        proc.now += self.cost.send_overhead(proc.rank, dst_world, size)
+        deliver = proc.now + self.cost.transit_time(proc.rank, dst_world, size)
+        key = (proc.rank, dst_world, context)
+        prev = self._channel_last.get(key, -1.0)
+        deliver = max(deliver, prev)  # per-channel in-order delivery
+        self._channel_last[key] = deliver
+        msg = Message(
+            src=proc.rank,
+            dst=dst_world,
+            tag=tag,
+            context=context,
+            payload=payload,
+            nbytes=size,
+            msg_id=self.next_message_id(),
+            send_time=proc.now,
+            deliver_time=deliver,
+        )
+        msg.ssend_req = ssend_req
+        if ssend_req is not None:
+            self.track_peer_request(proc.rank, ssend_req)
+        self.trace.record(
+            proc.now, TraceKind.SEND_POST, proc.rank,
+            dst=dst_world, tag=tag, ctx=context, bytes=size, msg=msg.msg_id,
+        )
+        self.events.schedule(deliver, lambda: self._deliver(msg), f"deliver:{msg.msg_id}")
+
+    def _deliver(self, msg: Message) -> None:
+        dst = self.procs[msg.dst]
+        if not dst.alive():
+            self.trace.record(
+                msg.deliver_time, TraceKind.SEND_DROP, msg.src,
+                dst=msg.dst, tag=msg.tag, msg=msg.msg_id,
+            )
+            self._complete_ssend(msg, msg.deliver_time, dropped=True)
+            return
+        self.trace.record(
+            msg.deliver_time, TraceKind.DELIVER, msg.dst,
+            src=msg.src, tag=msg.tag, ctx=msg.context, msg=msg.msg_id,
+        )
+        handler = self._am_handlers.get((msg.dst, msg.context))
+        if handler is not None:
+            handler(msg, msg.deliver_time)
+            return
+        req = dst.engine.deliver(msg)
+        if req is not None:
+            self._complete_recv(req, msg, msg.deliver_time)
+        elif dst.wants_arrival_wake:
+            dst.wants_arrival_wake = False
+            dst.wake(msg.deliver_time, "message arrival")
+
+    def post_recv(self, comm: Comm, req: Request, context: int | None = None) -> None:
+        """Post a receive request on *comm* (or an explicit context)."""
+        ctx = comm.context() if context is None else context
+        req.context = ctx
+        proc = req.owner
+        self.trace.record(
+            proc.now, TraceKind.RECV_POST, proc.rank,
+            src=req.peer, tag=req.tag, ctx=ctx, req=req.id,
+        )
+        msg = proc.engine.post_recv(req, ctx)
+        if msg is not None:
+            self._complete_recv(req, msg, max(proc.now, msg.deliver_time))
+
+    def _complete_recv(self, req: Request, msg: Message, time: float) -> None:
+        t = time + self.cost.recv_overhead(msg.src, msg.dst, msg.nbytes)
+        source = msg.src
+        if req.comm is not None:
+            cr = req.comm.comm_rank_of_world(msg.src)
+            if cr is not None:
+                source = cr
+        self.trace.record(
+            t, TraceKind.RECV_COMPLETE, msg.dst,
+            src=msg.src, tag=msg.tag, req=req.id, msg=msg.msg_id,
+        )
+        req.complete(
+            t,
+            data=msg.payload,
+            status=Status(source=source, tag=msg.tag, count=msg.nbytes),
+        )
+        self._complete_ssend(msg, t, dropped=False)
+
+    def _complete_ssend(self, msg: Message, time: float, dropped: bool) -> None:
+        sreq: Request | None = msg.ssend_req
+        if sreq is None or sreq.done:
+            return
+        if dropped:
+            sreq.complete(time, error=ErrorClass.ERR_RANK_FAIL_STOP,
+                          status=Status(source=msg.dst, tag=msg.tag,
+                                        error=ErrorClass.ERR_RANK_FAIL_STOP))
+        else:
+            sreq.complete(time, status=Status(source=msg.dst, tag=msg.tag,
+                                              count=msg.nbytes))
+
+    def cancel_request(self, req: Request) -> None:
+        """Cancel a pending posted receive (MPI_Cancel semantics)."""
+        if req.done:
+            return
+        if req.owner.engine.cancel_recv(req):
+            req.complete(req.owner.now, status=Status(cancelled=True))
+
+    # ------------------------------------------------------------------
+    # Active-message layer (consensus protocol transport)
+    # ------------------------------------------------------------------
+
+    def register_am_handler(self, rank: int, context: int, fn: AMHandler) -> None:
+        """Route deliveries on (rank, context) to *fn* instead of matching."""
+        self._am_handlers[(rank, context)] = fn
+
+    def send_am(
+        self, src_rank: int, dst_world: int, context: int, payload: Any
+    ) -> None:
+        """Send an active message *on behalf of* ``src_rank``.
+
+        Unlike :meth:`post_send` this may be called from event context (the
+        AM handler of another delivery); the sender's local clock is not
+        advanced — the progress engine, not the application, pays the cost.
+        """
+        src = self.procs[src_rank]
+        if not src.alive():
+            return
+        size = payload_nbytes(payload)
+        t0 = max(src.now, self.clock.now)
+        deliver = t0 + self.cost.overhead + self.cost.transit_time(src_rank, dst_world, size)
+        key = (src_rank, dst_world, context)
+        deliver = max(deliver, self._channel_last.get(key, -1.0))
+        self._channel_last[key] = deliver
+        msg = Message(
+            src=src_rank, dst=dst_world, tag=0, context=context,
+            payload=payload, nbytes=size, msg_id=self.next_message_id(),
+            send_time=t0, deliver_time=deliver,
+        )
+        self.trace.record(
+            t0, TraceKind.SEND_POST, src_rank,
+            dst=dst_world, tag=0, ctx=context, bytes=size, msg=msg.msg_id,
+            am=True,
+        )
+        self.events.schedule(deliver, lambda: self._deliver(msg), f"am:{msg.msg_id}")
+
+    # ------------------------------------------------------------------
+    # Communicator ids
+    # ------------------------------------------------------------------
+
+    def cid_for(self, parent_cid: int, op_index: int, color: Any = None) -> int:
+        """Deterministically allocate/lookup a context id for a comm-creation
+        operation: every member passes the same (parent, op_index, color)
+        and receives the same cid."""
+        key = (parent_cid, op_index, color)
+        cid = self._cid_registry.get(key)
+        if cid is None:
+            cid = self._next_cid
+            self._next_cid += 1
+            self._cid_registry[key] = cid
+        return cid
+
+    # ------------------------------------------------------------------
+    # Abort
+    # ------------------------------------------------------------------
+
+    def trigger_abort(self, info: JobAborted) -> None:
+        """Record an ``MPI_Abort`` and unwind the calling fiber."""
+        if self.abort_info is None:
+            self.abort_info = info
+        raise SimShutdown()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def attach_and_start(self, mains: Sequence[Callable[[SimProcess], Any]]) -> None:
+        """Create and launch one fiber per rank around the given mains."""
+        for proc, main in zip(self.procs, mains):
+            fiber = Fiber(
+                name=f"rank-{proc.rank}",
+                index=proc.rank,
+                target=(lambda m=main, p=proc: m(p)),
+            )
+            proc.attach_fiber(fiber)
+            fiber.start()
+        for proc in self.procs:
+            self._ready.append(proc)
+
+    def loop(self) -> None:
+        """Run until every process finished, the job aborted, a deadlock is
+        proven, or a budget is exhausted."""
+        for inj in self.injectors:
+            inj.arm(self)
+        while True:
+            if self.abort_info is not None:
+                break
+            if self._ready:
+                proc = self.policy.pick(self._ready)  # type: ignore[arg-type]
+                fiber = proc.fiber
+                assert fiber is not None
+                if fiber.finished():
+                    continue
+                fiber.resume_and_wait()
+                continue
+            if self.events:
+                ev = self.events.pop()
+                self._events_executed += 1
+                if self._events_executed > self.max_events:
+                    raise SimulationLimitExceeded(
+                        f"exceeded max_events={self.max_events}"
+                    )
+                if ev.time > self.max_time:
+                    raise SimulationLimitExceeded(
+                        f"virtual time {ev.time} exceeded max_time={self.max_time}"
+                    )
+                self.clock.advance_to(ev.time)
+                ev.fn()
+                continue
+            blocked = [
+                p for p in self.procs
+                if p.alive() and p.fiber is not None
+                and p.fiber.state is FiberState.BLOCKED
+            ]
+            if blocked:
+                desc = "; ".join(
+                    f"rank {p.rank}: {p.wait_description()}" for p in blocked
+                )
+                self.deadlock = SimulationDeadlock(
+                    f"deadlock at t={self.clock.now:.9f}: {desc}",
+                    [(p.rank, p.wait_description()) for p in blocked],
+                )
+                for p in blocked:
+                    self.trace.record(self.clock.now, TraceKind.DEADLOCK, p.rank,
+                                      waiting=p.wait_description())
+                break
+            break  # all processes done/failed and no events remain
+
+    def shutdown(self) -> None:
+        """Unwind every still-parked fiber and join its thread."""
+        for proc in self.procs:
+            fiber = proc.fiber
+            if fiber is None or fiber.finished():
+                continue
+            fiber.shutdown_pending = True
+            fiber.resume_and_wait()
+        for proc in self.procs:
+            if proc.fiber is not None:
+                proc.fiber.join()
+
+
+@dataclass
+class RankOutcome:
+    """Terminal state of one rank after a simulation."""
+
+    rank: int
+    #: "done", "failed" (fail-stop), "error" (app exception), "shutdown".
+    state: str
+    #: Return value of the rank's main function, if it completed.
+    value: Any = None
+    #: The application exception, if state == "error".
+    error: BaseException | None = None
+    #: Local virtual clock at the end.
+    final_time: float = 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything a driver can observe about a finished simulation."""
+
+    outcomes: list[RankOutcome]
+    final_time: float
+    trace: Trace
+    aborted: JobAborted | None = None
+    deadlock: SimulationDeadlock | None = None
+    events_executed: int = 0
+    #: Ground-truth failed ranks at the end of the run.
+    failed_ranks: frozenset[int] = frozenset()
+
+    def value(self, rank: int) -> Any:
+        """Return value of *rank*'s main (raises if it did not complete)."""
+        out = self.outcomes[rank]
+        if out.state != "done":
+            raise RuntimeError(f"rank {rank} did not complete: {out.state}")
+        return out.value
+
+    def values(self) -> dict[int, Any]:
+        """Return values of every rank that completed normally."""
+        return {o.rank: o.value for o in self.outcomes if o.state == "done"}
+
+    @property
+    def hung(self) -> bool:
+        """True if the run ended in a proven deadlock (a hang)."""
+        return self.deadlock is not None
+
+    @property
+    def completed_ranks(self) -> list[int]:
+        return [o.rank for o in self.outcomes if o.state == "done"]
+
+
+class Simulation:
+    """User-facing driver for one simulated MPI job.
+
+    Typical use::
+
+        def main(mpi):
+            comm = mpi.comm_world
+            ...
+
+        sim = Simulation(nprocs=4, seed=1)
+        sim.kill(rank=2, at_time=5e-6)
+        result = sim.run(main)
+
+    ``run`` may be given a single main (SPMD) or one main per rank.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        *,
+        seed: int = 0,
+        cost: CostModel = DEFAULT_COST,
+        policy: str | SchedulingPolicy = "rr",
+        detection_latency: float | Callable[[int, int], float] = 0.0,
+        trace_enabled: bool = True,
+        max_events: int = 20_000_000,
+        max_time: float = float("inf"),
+    ) -> None:
+        self.runtime = Runtime(
+            nprocs,
+            cost=cost,
+            policy=policy,
+            seed=seed,
+            detection_latency=detection_latency,
+            trace_enabled=trace_enabled,
+            max_events=max_events,
+            max_time=max_time,
+        )
+        self._ran = False
+
+    @property
+    def nprocs(self) -> int:
+        return self.runtime.nprocs
+
+    def kill(self, rank: int, at_time: float) -> None:
+        """Schedule a fail-stop of *rank* at a virtual time."""
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range")
+        self.runtime.kill_at(rank, at_time)
+
+    def add_injector(self, injector: Any) -> None:
+        """Attach a fault injector (see :mod:`repro.faults`)."""
+        self.runtime.injectors.append(injector)
+
+    def run(
+        self,
+        main: Callable[[SimProcess], Any] | Sequence[Callable[[SimProcess], Any]],
+        *,
+        on_deadlock: str = "raise",
+        raise_app_errors: bool = True,
+    ) -> SimulationResult:
+        """Execute the job to completion and return the result.
+
+        Parameters
+        ----------
+        main:
+            One callable (run at every rank) or a sequence of ``nprocs``
+            callables (MPMD).
+        on_deadlock:
+            ``"raise"`` (default) raises :class:`SimulationDeadlock`;
+            ``"return"`` records it on the result — used by the harness
+            that *wants* to observe the paper's Fig. 6 hang.
+        raise_app_errors:
+            Re-raise the first unexpected application exception as
+            :class:`SimulationError`; pass ``False`` to inspect them on
+            the result instead.
+        """
+        if self._ran:
+            raise RuntimeError("a Simulation object can only run once")
+        self._ran = True
+        if on_deadlock not in ("raise", "return"):
+            raise ValueError("on_deadlock must be 'raise' or 'return'")
+        rt = self.runtime
+        mains: list[Callable[[SimProcess], Any]]
+        if callable(main):
+            mains = [main] * rt.nprocs
+        else:
+            mains = list(main)
+            if len(mains) != rt.nprocs:
+                raise ValueError(
+                    f"expected {rt.nprocs} mains, got {len(mains)}"
+                )
+        rt.attach_and_start(mains)
+        try:
+            rt.loop()
+        finally:
+            rt.shutdown()
+        outcomes = []
+        for proc in rt.procs:
+            fiber = proc.fiber
+            assert fiber is not None
+            if proc.failed_at is not None:
+                state = "failed"
+            elif fiber.error is not None:
+                state = "error"
+            elif rt.abort_info is not None and rt.abort_info.origin_rank == proc.rank:
+                state = "aborted"
+            elif fiber.shutdown_pending:
+                state = "shutdown"
+            else:
+                state = "done"
+            outcomes.append(
+                RankOutcome(
+                    rank=proc.rank,
+                    state=state,
+                    value=fiber.result,
+                    error=fiber.error,
+                    final_time=proc.now,
+                )
+            )
+        result = SimulationResult(
+            outcomes=outcomes,
+            final_time=rt.clock.now,
+            trace=rt.trace,
+            aborted=rt.abort_info,
+            deadlock=rt.deadlock,
+            events_executed=rt._events_executed,
+            failed_ranks=frozenset(rt.failed),
+        )
+        if raise_app_errors:
+            for out in outcomes:
+                if out.state == "error":
+                    assert out.error is not None
+                    raise SimulationError(out.rank, out.error) from out.error
+        if result.deadlock is not None and on_deadlock == "raise":
+            raise result.deadlock
+        return result

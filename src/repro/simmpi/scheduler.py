@@ -1,0 +1,195 @@
+"""Deterministic cooperative scheduling of simulated processes.
+
+Each simulated MPI rank runs ordinary Python code on its own OS thread,
+but **exactly one thread executes at any instant**: the scheduler hands a
+baton to one fiber, which runs until it blocks inside a simulated MPI call
+(or finishes), at which point the baton returns to the scheduler.  Because
+the code between two MPI calls is plain sequential Python, and because the
+scheduler picks the next runnable fiber with a deterministic policy, the
+entire simulation is reproducible bit-for-bit from its seed.
+
+This file knows nothing about MPI; it provides:
+
+* :class:`Fiber` — the baton-passing wrapper around one thread,
+* :class:`SchedulingPolicy` implementations — which runnable fiber goes
+  next (round-robin by rank, or seeded-random for interleaving
+  exploration),
+* kill/shutdown plumbing: a fiber can be made to unwind with
+  :class:`~repro.simmpi.errors.ProcessKilled` (fail-stop) or
+  :class:`~repro.simmpi.errors.SimShutdown` (end of simulation).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from collections import deque
+from typing import Callable
+
+from .errors import ProcessKilled, SimShutdown
+
+
+class FiberState(enum.Enum):
+    """Lifecycle of a fiber."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"  # fail-stop: thread unwound via ProcessKilled
+
+
+class Fiber:
+    """One simulated process: a thread that runs only when handed the baton."""
+
+    def __init__(self, name: str, index: int, target: Callable[[], None]) -> None:
+        self.name = name
+        #: Dense index (the MPI world rank) used by scheduling policies.
+        self.index = index
+        self.state = FiberState.NEW
+        #: Human-readable reason the fiber is blocked (deadlock reports).
+        self.block_reason = ""
+        #: Set when the fiber must unwind with ProcessKilled on next resume.
+        self.kill_pending = False
+        #: Set when the fiber must unwind with SimShutdown on next resume.
+        self.shutdown_pending = False
+        #: Exception raised by the user target, if any (not kill/shutdown).
+        self.error: BaseException | None = None
+        #: Return value of the user target, if it completed normally.
+        self.result: object = None
+        self._target = target
+        self._resume = threading.Event()
+        self._yielded = threading.Event()
+        self._thread = threading.Thread(
+            target=self._bootstrap, name=name, daemon=True
+        )
+
+    # -- thread side ------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        try:
+            # The initial baton wait sits inside the try: a kill or
+            # shutdown can arrive before the fiber's first slice.
+            self._wait_for_baton()
+            self.result = self._target()
+            self.state = FiberState.DONE
+        except ProcessKilled:
+            self.state = FiberState.FAILED
+        except SimShutdown:
+            self.state = FiberState.DONE
+        except BaseException as exc:  # noqa: BLE001 - reported to driver
+            self.error = exc
+            self.state = FiberState.DONE
+        finally:
+            self._yielded.set()
+
+    def _wait_for_baton(self) -> None:
+        self._resume.wait()
+        self._resume.clear()
+        if self.kill_pending:
+            raise ProcessKilled()
+        if self.shutdown_pending:
+            raise SimShutdown()
+
+    def yield_to_scheduler(self) -> None:
+        """Called *from the fiber's own thread* when it blocks.
+
+        Returns when the scheduler resumes this fiber, or raises
+        :class:`ProcessKilled` / :class:`SimShutdown` if the fiber was
+        killed or the simulation ended while it was blocked.
+        """
+        self._yielded.set()
+        self._wait_for_baton()
+
+    # -- scheduler side ---------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the underlying thread (it immediately awaits the baton)."""
+        self.state = FiberState.READY
+        self._thread.start()
+
+    def resume_and_wait(self) -> None:
+        """Hand the baton to this fiber and wait until it yields or exits."""
+        self.state = FiberState.RUNNING
+        self._resume.set()
+        self._yielded.wait()
+        self._yielded.clear()
+
+    def finished(self) -> bool:
+        return self.state in (FiberState.DONE, FiberState.FAILED)
+
+    def join(self, timeout: float | None = 5.0) -> None:
+        """Join the underlying thread (used during simulator teardown)."""
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+
+class SchedulingPolicy:
+    """Chooses which of the runnable fibers executes next."""
+
+    def pick(self, ready: deque[Fiber]) -> Fiber:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any internal state (called once per simulation)."""
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """FIFO over the ready queue: fair, deterministic, and cheap."""
+
+    def pick(self, ready: deque[Fiber]) -> Fiber:
+        return ready.popleft()
+
+
+class LowestRankFirstPolicy(SchedulingPolicy):
+    """Always run the lowest-index runnable fiber.
+
+    Produces highly regular interleavings; useful for writing tests whose
+    expected traces are easy to reason about by hand.
+    """
+
+    def pick(self, ready: deque[Fiber]) -> Fiber:
+        best_pos = 0
+        for pos in range(1, len(ready)):
+            if ready[pos].index < ready[best_pos].index:
+                best_pos = pos
+        fiber = ready[best_pos]
+        del ready[best_pos]
+        return fiber
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Seeded-random choice among runnable fibers.
+
+    Different seeds explore different interleavings of the *same* program,
+    which is how the fault-scenario explorer shakes out ordering-dependent
+    bugs; a fixed seed is still fully deterministic.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def pick(self, ready: deque[Fiber]) -> Fiber:
+        pos = self._rng.randrange(len(ready))
+        fiber = ready[pos]
+        del ready[pos]
+        return fiber
+
+
+def make_policy(spec: str | SchedulingPolicy, seed: int = 0) -> SchedulingPolicy:
+    """Build a policy from a string spec (``"rr"``, ``"lowest"``, ``"random"``)."""
+    if isinstance(spec, SchedulingPolicy):
+        return spec
+    if spec == "rr":
+        return RoundRobinPolicy()
+    if spec == "lowest":
+        return LowestRankFirstPolicy()
+    if spec == "random":
+        return RandomPolicy(seed)
+    raise ValueError(f"unknown scheduling policy: {spec!r}")

@@ -1,0 +1,128 @@
+"""Structured execution traces.
+
+Every simulation records a sequence of :class:`TraceEvent` records: sends,
+deliveries, matches, failures, detector notifications, collective phases,
+and application-defined probe points.  Traces serve three purposes:
+
+1. **Determinism checks** — two runs with identical seeds must produce
+   identical traces (asserted by the test suite).
+2. **Scenario classification** — the benchmark harness reconstructs the
+   paper's message-sequence figures (6, 7, 8, 10) from traces.
+3. **Debugging** — ``trace.format()`` pretty-prints a timeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+class TraceKind(enum.Enum):
+    """Category of a trace record."""
+
+    SEND_POST = "send_post"
+    SEND_DROP = "send_drop"  # message dropped: destination already failed
+    DELIVER = "deliver"
+    MATCH = "match"
+    RECV_POST = "recv_post"
+    RECV_COMPLETE = "recv_complete"
+    REQ_ERROR = "req_error"
+    FAILURE = "failure"
+    DETECT = "detect"
+    VALIDATE = "validate"
+    COLLECTIVE = "collective"
+    ABORT = "abort"
+    PROBE = "probe"
+    PROC_DONE = "proc_done"
+    DEADLOCK = "deadlock"
+    USER = "user"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record in a simulation trace."""
+
+    time: float
+    kind: TraceKind
+    rank: int
+    #: Free-form payload; keys depend on ``kind`` (``peer``, ``tag``, ...).
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render as a single human-readable timeline line."""
+        detail = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:12.9f}] r{self.rank:<3d} {self.kind.value:<14s} {detail}"
+
+    def key(self) -> tuple[Any, ...]:
+        """A hashable identity used by determinism-comparison tests."""
+        return (
+            self.time,
+            self.kind.value,
+            self.rank,
+            tuple(sorted((k, repr(v)) for k, v in self.detail.items())),
+        )
+
+
+class Trace:
+    """An append-only sequence of :class:`TraceEvent` records."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+
+    def record(
+        self, time: float, kind: TraceKind, rank: int, **detail: Any
+    ) -> None:
+        """Append one record (no-op when tracing is disabled)."""
+        if self.enabled:
+            self._events.append(TraceEvent(time, kind, rank, detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, idx: int) -> TraceEvent:
+        return self._events[idx]
+
+    def filter(
+        self,
+        kind: TraceKind | None = None,
+        rank: int | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Return records matching all of the given criteria."""
+        out = []
+        for ev in self._events:
+            if kind is not None and ev.kind is not kind:
+                continue
+            if rank is not None and ev.rank != rank:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, kind: TraceKind, **detail_eq: Any) -> int:
+        """Count records of *kind* whose detail matches all given keys."""
+        n = 0
+        for ev in self._events:
+            if ev.kind is not kind:
+                continue
+            if all(ev.detail.get(k) == v for k, v in detail_eq.items()):
+                n += 1
+        return n
+
+    def format(self, limit: int | None = None) -> str:
+        """Pretty-print the (possibly truncated) timeline."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [ev.format() for ev in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more)")
+        return "\n".join(lines)
+
+    def keys(self) -> list[tuple[Any, ...]]:
+        """Identity view of the full trace, for determinism assertions."""
+        return [ev.key() for ev in self._events]

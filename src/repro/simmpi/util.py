@@ -1,0 +1,52 @@
+"""Small deterministic helpers shared across the simulator."""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Fixed per-message envelope size added to every payload estimate.
+ENVELOPE_BYTES = 32
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Deterministically estimate the wire size of a payload in bytes.
+
+    The estimate feeds the cost model only — correctness never depends on
+    it.  It intentionally avoids :mod:`pickle` (slow, version-dependent)
+    in favour of a simple structural walk.
+    """
+    return ENVELOPE_BYTES + _body_nbytes(payload)
+
+
+def _body_nbytes(obj: Any) -> int:
+    if obj is None:
+        return 0
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return 8
+    if isinstance(obj, complex):
+        return 16
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
+    nbytes = getattr(obj, "nbytes", None)  # numpy arrays and friends
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(_body_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(_body_nbytes(k) + _body_nbytes(v) for k, v in obj.items())
+    fields = getattr(obj, "__dataclass_fields__", None)
+    if fields is not None:
+        return 8 + sum(_body_nbytes(getattr(obj, f)) for f in fields)
+    slots = getattr(obj, "__slots__", None)
+    if slots is not None:
+        return 8 + sum(_body_nbytes(getattr(obj, s, None)) for s in slots)
+    d = getattr(obj, "__dict__", None)
+    if isinstance(d, dict):
+        return 8 + sum(_body_nbytes(v) for v in d.values())
+    return 64  # opaque object: flat guess

@@ -1,0 +1,36 @@
+"""Shared pytest fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import pytest
+
+from repro.simmpi import CostModel, Simulation, SimulationResult
+
+
+def run_sim(
+    main: Callable[..., Any] | Sequence[Callable[..., Any]],
+    nprocs: int,
+    *,
+    seed: int = 0,
+    kills: Sequence[tuple[int, float]] = (),
+    injectors: Sequence[Any] = (),
+    on_deadlock: str = "raise",
+    **sim_kwargs: Any,
+) -> SimulationResult:
+    """One-line simulation driver used throughout the tests."""
+    sim = Simulation(nprocs=nprocs, seed=seed, **sim_kwargs)
+    for rank, time in kills:
+        sim.kill(rank, at_time=time)
+    for inj in injectors:
+        sim.add_injector(inj)
+    return sim.run(main, on_deadlock=on_deadlock)
+
+
+@pytest.fixture
+def zero_cost() -> CostModel:
+    """A cost model where time never advances (pure-ordering tests)."""
+    from repro.simmpi import ZERO_COST
+
+    return ZERO_COST

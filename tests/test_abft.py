@@ -1,0 +1,128 @@
+"""ABFT matrix–vector products with parity recovery (paper §IV lineage)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import AbftConfig, make_abft_main, reference_result
+from repro.faults import KillAtProbe
+from tests.conftest import run_sim
+
+N = 5  # 4 compute ranks + 1 parity rank
+CFG = AbftConfig(iterations=4)
+
+
+def blocks_match_reference(report, cfg, nprocs, iteration) -> bool:
+    ref = reference_result(cfg, nprocs, iteration)
+    got = report["results"][iteration]["blocks"]
+    return all(k in got and np.allclose(got[k], ref[k]) for k in ref)
+
+
+class TestFailureFree:
+    def test_every_iteration_exact(self):
+        r = run_sim(make_abft_main(CFG), N)
+        for rank in range(N):
+            rep = r.value(rank)
+            for it in range(CFG.iterations):
+                assert blocks_match_reference(rep, CFG, N, it)
+            assert rep["recoveries"] == 0
+            assert not rep["degraded"]
+
+    def test_roles(self):
+        r = run_sim(make_abft_main(CFG), N)
+        assert r.value(N - 1)["role"] == "parity"
+        assert all(r.value(i)["role"] == "compute" for i in range(N - 1))
+
+    def test_parity_identity_holds(self):
+        # y_P == sum of compute blocks, by construction of the encoding.
+        r = run_sim(make_abft_main(CFG), N)
+        rep = r.value(0)
+        for it in range(CFG.iterations):
+            ref = reference_result(CFG, N, it)
+            total = np.sum([np.array(v) for v in ref.values()], axis=0)
+            # Recompute what the parity rank would produce.
+            from repro.apps.abft_matvec import _block, _x
+
+            parity = sum(_block(rk, CFG) for rk in range(N - 1)) @ _x(it, CFG)
+            assert np.allclose(parity, total)
+
+
+class TestSingleFailureRecovery:
+    @pytest.mark.parametrize("victim", [0, 1, 2, 3])
+    def test_lost_block_recovered_exactly(self, victim):
+        r = run_sim(
+            make_abft_main(CFG), N,
+            injectors=[KillAtProbe(rank=victim, probe="computed", hit=3)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        for rank in r.completed_ranks:
+            rep = r.value(rank)
+            assert not rep["degraded"]
+            for it in range(CFG.iterations):
+                assert blocks_match_reference(rep, CFG, N, it), (victim, it)
+
+    def test_recovery_marked_in_results(self):
+        r = run_sim(
+            make_abft_main(CFG), N,
+            injectors=[KillAtProbe(rank=2, probe="computed", hit=3)],
+            on_deadlock="return",
+        )
+        rep = r.value(0)
+        assert rep["results"][1]["recovered"] == []
+        assert rep["results"][2]["recovered"] == [2]
+        assert rep["results"][3]["recovered"] == [2]
+        assert rep["recoveries"] == 2
+
+    def test_death_between_iterations(self):
+        r = run_sim(
+            make_abft_main(CFG), N,
+            injectors=[KillAtProbe(rank=1, probe="iter_done", hit=2)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        rep = r.value(3)
+        for it in range(CFG.iterations):
+            assert blocks_match_reference(rep, CFG, N, it)
+
+
+class TestBeyondCodeStrength:
+    def test_two_compute_deaths_degrade(self):
+        r = run_sim(
+            make_abft_main(CFG), N,
+            injectors=[
+                KillAtProbe(rank=1, probe="computed", hit=2),
+                KillAtProbe(rank=2, probe="computed", hit=2),
+            ],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        rep = r.value(0)
+        assert rep["degraded"]  # one parity cannot rebuild two blocks
+
+    def test_parity_death_disables_recovery_of_later_failure(self):
+        r = run_sim(
+            make_abft_main(CFG), N,
+            injectors=[
+                KillAtProbe(rank=N - 1, probe="computed", hit=2),
+                KillAtProbe(rank=1, probe="computed", hit=3),
+            ],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        rep = r.value(0)
+        assert rep["degraded"]
+
+    def test_parity_death_alone_keeps_full_results(self):
+        # Losing only the parity rank loses redundancy, not data.
+        r = run_sim(
+            make_abft_main(CFG), N,
+            injectors=[KillAtProbe(rank=N - 1, probe="computed", hit=2)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        rep = r.value(0)
+        assert not rep["degraded"]
+        for it in range(CFG.iterations):
+            assert blocks_match_reference(rep, CFG, N, it)

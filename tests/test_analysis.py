@@ -1,0 +1,149 @@
+"""Invariants, run statistics, and table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ascii_table,
+    completions_in_order,
+    dict_table,
+    format_cell,
+    make_min_completions,
+    make_value_bounds,
+    message_stats,
+    no_abort,
+    no_duplicate_completions,
+    no_hang,
+    ring_summary,
+    survivors_done,
+)
+from repro.core import RingConfig, RingVariant, Termination, make_ring_main
+from repro.faults import KillAtProbe
+from tests.conftest import run_sim
+
+
+def clean_run(**kw):
+    cfg = RingConfig(max_iter=3, termination=Termination.VALIDATE_ALL)
+    return run_sim(make_ring_main(cfg), 4, on_deadlock="return", **kw)
+
+
+def hang_run():
+    cfg = RingConfig(max_iter=3, variant=RingVariant.NAIVE)
+    return run_sim(
+        make_ring_main(cfg), 4,
+        injectors=[KillAtProbe(rank=2, probe="post_recv", hit=2)],
+        on_deadlock="return",
+    )
+
+
+def dup_run():
+    cfg = RingConfig(max_iter=4, variant=RingVariant.FT_NO_MARKER,
+                     termination=Termination.ROOT_BCAST)
+    return run_sim(
+        make_ring_main(cfg), 4,
+        injectors=[KillAtProbe(rank=2, probe="post_send", hit=2)],
+        on_deadlock="return", detection_latency=2e-6,
+    )
+
+
+class TestInvariants:
+    def test_no_hang(self):
+        assert no_hang(clean_run()) is None
+        assert no_hang(hang_run()) is not None
+
+    def test_no_abort(self):
+        assert no_abort(clean_run()) is None
+
+    def test_survivors_done(self):
+        assert survivors_done(clean_run()) is None
+
+    def test_no_duplicate_completions(self):
+        assert no_duplicate_completions(clean_run()) is None
+        v = no_duplicate_completions(dup_run())
+        assert v is not None and "twice" in v
+
+    def test_completions_in_order(self):
+        assert completions_in_order(clean_run()) is None
+        assert completions_in_order(dup_run()) is not None
+
+    def test_min_completions(self):
+        assert make_min_completions(3)(clean_run()) is None
+        assert make_min_completions(99)(clean_run()) is not None
+
+    def test_value_bounds(self):
+        assert make_value_bounds(4)(clean_run()) is None
+        assert make_value_bounds(2)(clean_run()) is not None
+
+
+class TestStats:
+    def test_message_stats_counts(self):
+        r = clean_run()
+        ms = message_stats(r)
+        assert ms.sends > 0
+        assert ms.deliveries <= ms.sends
+        assert ms.drops == 0
+        assert ms.lost == 0
+
+    def test_message_stats_with_failure(self):
+        cfg = RingConfig(max_iter=4, termination=Termination.VALIDATE_ALL)
+        r = run_sim(
+            make_ring_main(cfg), 4,
+            injectors=[KillAtProbe(rank=2, probe="post_recv", hit=2)],
+            on_deadlock="return",
+        )
+        ms = message_stats(r)
+        assert ms.detections == 3  # three survivors notice one death
+        assert ms.recv_errors >= 1
+
+    def test_ring_summary_clean(self):
+        s = ring_summary(clean_run())
+        assert s["hung"] is False
+        assert s["survivors"] == 4
+        assert s["distinct_markers"] == 3
+        assert s["duplicate_completions"] == 0
+
+    def test_ring_summary_duplicates(self):
+        s = ring_summary(dup_run())
+        assert s["duplicate_completions"] >= 1
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.5) == "1.5"
+        assert format_cell(1e-9) == "1.000e-09"
+        assert format_cell(123456.0) == "1.235e+05"
+        assert format_cell("txt") == "txt"
+
+    def test_ascii_table_layout(self):
+        text = ascii_table(
+            ["name", "value"],
+            [["alpha", 1], ["beta", 22]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_ascii_table_width_adapts(self):
+        text = ascii_table(["h"], [["very-long-cell-content"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("very-long-cell-content")
+
+    def test_dict_table_default_columns(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        text = dict_table(rows)
+        assert "a" in text and "4" in text
+
+    def test_dict_table_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = dict_table(rows, columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[0]
+
+    def test_dict_table_empty(self):
+        assert dict_table([], title="empty") == "empty"

@@ -1,0 +1,139 @@
+"""Exhaustive failure-window sweeps over the domain applications.
+
+The explorer is application-agnostic: anything with probe points can be
+swept.  These tests put every app through the §III-E treatment with the
+generic invariants (no hang; survivors finish) plus app-specific checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import no_hang, survivors_done
+from repro.apps import (
+    AbftConfig,
+    FarmConfig,
+    HeatConfig,
+    expected_results,
+    make_abft_main,
+    make_farm_mains,
+    make_heat_main,
+    reference_result,
+)
+from repro.faults import explore
+from repro.simmpi import Simulation
+
+
+class TestHeatExploration:
+    def test_every_step_window_survives(self):
+        cfg = HeatConfig(cells_per_rank=4, steps=5)
+
+        def factory():
+            return Simulation(nprocs=4), make_heat_main(cfg)
+
+        def fields_finite(result):
+            for o in result.outcomes:
+                if o.state == "done":
+                    f = np.array(o.value["field"])
+                    if not np.all(np.isfinite(f)):
+                        return f"rank {o.rank} produced non-finite values"
+            return None
+
+        rep = explore(
+            factory,
+            invariants=[no_hang, survivors_done, fields_finite],
+            probes=["step_top", "halos_posted", "step_done"],
+        )
+        assert rep.summary()["ok"] == rep.summary()["runs"], rep.format()
+
+    def test_window_pairs_on_distinct_ranks(self):
+        cfg = HeatConfig(cells_per_rank=4, steps=3)
+
+        def factory():
+            return Simulation(nprocs=4), make_heat_main(cfg)
+
+        rep = explore(
+            factory,
+            invariants=[no_hang, survivors_done],
+            probes=["step_top", "step_done"],
+            pairs=True,
+        )
+        assert rep.summary()["ok"] == rep.summary()["runs"], rep.format()
+
+
+class TestFarmExploration:
+    def test_every_worker_window_completes_farm(self):
+        cfg = FarmConfig(num_tasks=8, work_per_task=1e-6)
+        nprocs = 4
+
+        def factory():
+            return Simulation(nprocs=nprocs), make_farm_mains(cfg, nprocs)
+
+        def farm_complete(result):
+            if result.aborted is not None:
+                return None  # all-workers-dead abort is legitimate
+            if result.outcomes[0].state != "done":
+                return "manager did not finish"
+            if result.outcomes[0].value["results"] != expected_results(cfg):
+                return "results incomplete or wrong"
+            return None
+
+        rep = explore(
+            factory,
+            invariants=[no_hang, farm_complete],
+            ranks=[1, 2, 3],  # the manager (rank 0) is assumed immortal
+        )
+        assert rep.summary()["ok"] == rep.summary()["runs"], rep.format()
+
+
+class TestAbftExploration:
+    def test_every_compute_window_stays_exact(self):
+        cfg = AbftConfig(iterations=3)
+        nprocs = 4  # 3 compute + 1 parity
+
+        def factory():
+            return Simulation(nprocs=nprocs), make_abft_main(cfg)
+
+        def blocks_exact(result):
+            done = [o for o in result.outcomes if o.state == "done"]
+            if not done:
+                return "nobody finished"
+            rep = done[0].value
+            if rep["degraded"]:
+                return "degraded under a single failure"
+            for it in range(cfg.iterations):
+                ref = reference_result(cfg, nprocs, it)
+                got = rep["results"][it]["blocks"]
+                for k, v in ref.items():
+                    if k not in got or not np.allclose(got[k], v):
+                        return f"iteration {it} block {k} wrong"
+            return None
+
+        rep = explore(
+            factory,
+            invariants=[no_hang, survivors_done, blocks_exact],
+            ranks=[0, 1, 2],  # any compute rank, any window
+        )
+        assert rep.summary()["ok"] == rep.summary()["runs"], rep.format()
+
+    def test_parity_windows_lose_only_redundancy(self):
+        cfg = AbftConfig(iterations=3)
+        nprocs = 4
+
+        def factory():
+            return Simulation(nprocs=nprocs), make_abft_main(cfg)
+
+        def still_exact(result):
+            done = [o for o in result.outcomes if o.state == "done"]
+            rep = done[0].value
+            if rep["degraded"]:
+                return "parity loss alone must not degrade results"
+            return None
+
+        rep = explore(
+            factory,
+            invariants=[no_hang, survivors_done, still_exact],
+            ranks=[nprocs - 1],
+        )
+        assert rep.summary()["ok"] == rep.summary()["runs"], rep.format()

@@ -1,0 +1,261 @@
+"""Domain applications: heat diffusion, ring allreduce, manager/worker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AllreduceConfig,
+    FarmConfig,
+    HeatConfig,
+    expected_results,
+    expected_sum,
+    make_allreduce_main,
+    make_farm_mains,
+    make_heat_main,
+)
+from repro.faults import KillAtProbe, KillAtTime
+from tests.conftest import run_sim
+
+
+class TestHeatFailureFree:
+    def test_heat_spreads_from_center(self):
+        cfg = HeatConfig(cells_per_rank=8, steps=15)
+        r = run_sim(make_heat_main(cfg), 4)
+        fields = [np.array(r.value(i)["field"]) for i in range(4)]
+        full = np.concatenate(fields)
+        # The bump diffused: peak decreased, tails rose, heat conserved
+        # up to the (tiny) boundary loss at this scale.
+        assert full.max() < 1.0
+        assert full.sum() == pytest.approx(2.0, abs=1e-3)
+        # Symmetric around the center.
+        assert np.allclose(full, full[::-1], atol=1e-12)
+
+    def test_zero_retries_without_failures(self):
+        cfg = HeatConfig(cells_per_rank=4, steps=5)
+        r = run_sim(make_heat_main(cfg), 3)
+        assert all(r.value(i)["halo_retries"] == 0 for i in range(3))
+
+    def test_matches_serial_reference(self):
+        cfg = HeatConfig(cells_per_rank=6, steps=12, nu=0.2)
+        r = run_sim(make_heat_main(cfg), 4)
+        parallel = np.concatenate(
+            [np.array(r.value(i)["field"]) for i in range(4)]
+        )
+        # Serial reference of the same update rule.
+        n = 24
+        u = np.zeros(n)
+        u[n // 2] = 1.0
+        u[(n - 1) // 2] = 1.0
+        for _ in range(cfg.steps):
+            padded = np.concatenate([[cfg.boundary], u, [cfg.boundary]])
+            u = padded[1:-1] + cfg.nu * (
+                padded[:-2] - 2 * padded[1:-1] + padded[2:]
+            )
+        assert np.allclose(parallel, u, atol=1e-12)
+
+
+class TestHeatWithFailures:
+    def test_survivors_run_through(self):
+        cfg = HeatConfig(cells_per_rank=8, steps=12)
+        r = run_sim(
+            make_heat_main(cfg), 4,
+            kills=[(2, 5.5e-6)], on_deadlock="return",
+        )
+        assert not r.hung
+        assert set(r.completed_ranks) == {0, 1, 3}
+
+    def test_mid_exchange_death_triggers_retry(self):
+        # The victim dies right after posting its halos; with a lagging
+        # detector its neighbors only learn of the death while blocked in
+        # the exchange and must take the retry path.
+        cfg = HeatConfig(cells_per_rank=8, steps=10)
+        r = run_sim(
+            make_heat_main(cfg), 4,
+            injectors=[KillAtProbe(rank=2, probe="halos_posted", hit=4)],
+            on_deadlock="return", detection_latency=5e-7,
+        )
+        assert not r.hung
+        assert set(r.completed_ranks) == {0, 1, 3}
+        assert any(r.value(i)["halo_retries"] > 0 for i in (1, 3))
+
+    def test_edge_rank_death(self):
+        cfg = HeatConfig(cells_per_rank=8, steps=12)
+        r = run_sim(
+            make_heat_main(cfg), 4,
+            kills=[(0, 5.5e-6)], on_deadlock="return",
+        )
+        assert not r.hung
+        assert set(r.completed_ranks) == {1, 2, 3}
+
+    def test_probe_window_death_mid_step(self):
+        cfg = HeatConfig(cells_per_rank=8, steps=10)
+        r = run_sim(
+            make_heat_main(cfg), 5,
+            injectors=[KillAtProbe(rank=2, probe="step_top", hit=4)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        assert set(r.completed_ranks) == {0, 1, 3, 4}
+
+    def test_remaining_field_stays_finite_and_positive(self):
+        cfg = HeatConfig(cells_per_rank=8, steps=15)
+        r = run_sim(
+            make_heat_main(cfg), 4,
+            kills=[(1, 4.2e-6)], on_deadlock="return",
+        )
+        for i in r.completed_ranks:
+            f = np.array(r.value(i)["field"])
+            assert np.all(np.isfinite(f))
+            assert np.all(f >= -1e-12)
+
+    def test_two_deaths(self):
+        cfg = HeatConfig(cells_per_rank=6, steps=12)
+        r = run_sim(
+            make_heat_main(cfg), 6,
+            kills=[(2, 3.1e-6), (4, 7.3e-6)], on_deadlock="return",
+        )
+        assert not r.hung
+        assert set(r.completed_ranks) == {0, 1, 3, 5}
+
+    def test_regression_cascading_deaths_drift_beyond_one_step(self):
+        # Regression: ranks 2 then 1 die in sequence, leaving ranks 0 and
+        # 3 as neighbors more than one step apart.  An earlier exchange
+        # implementation deadlocked here because a stashed future halo
+        # did not mark intermediate steps as insulated (found by the
+        # randomized fault campaign; params replay that exact run).
+        cfg = HeatConfig(cells_per_rank=4, steps=10)
+        r = run_sim(
+            make_heat_main(cfg), 4, seed=7, policy="random",
+            kills=[(2, 5.1463146710153945e-06), (1, 7.659063818870926e-06)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        assert set(r.completed_ranks) == {0, 3}
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_failure_free_sums_everyone(self, n):
+        cfg = AllreduceConfig(vector_len=4)
+        r = run_sim(make_allreduce_main(cfg), n)
+        expect = expected_sum(list(range(n)), 4)
+        for i in range(n):
+            rec = r.value(i)["allreduce"][0]
+            assert rec["sum"] == expect
+            assert rec["contributors"] == list(range(n))
+
+    def test_multiple_rounds(self):
+        cfg = AllreduceConfig(vector_len=3, rounds=3)
+        r = run_sim(make_allreduce_main(cfg), 4)
+        recs = r.value(2)["allreduce"]
+        assert [x["round"] for x in recs] == [0, 1, 2]
+        assert all(x["sum"] == expected_sum([0, 1, 2, 3], 3) for x in recs)
+
+    def test_victim_before_contributing_is_excluded(self):
+        cfg = AllreduceConfig(vector_len=4)
+        r = run_sim(
+            make_allreduce_main(cfg), 5,
+            injectors=[KillAtProbe(rank=3, probe="post_recv", hit=1)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        rec = r.value(0)["allreduce"][0]
+        assert rec["contributors"] == [0, 1, 2, 4]
+        assert rec["sum"] == expected_sum([0, 1, 2, 4], 4)
+
+    def test_survivors_agree_on_result(self):
+        cfg = AllreduceConfig(vector_len=4, rounds=2)
+        r = run_sim(
+            make_allreduce_main(cfg), 6,
+            injectors=[KillAtProbe(rank=2, probe="post_send", hit=2)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        sums = {tuple(r.value(i)["allreduce"][-1]["sum"])
+                for i in r.completed_ranks}
+        assert len(sums) == 1
+
+    def test_contribution_never_double_counted(self):
+        # Resends could re-deliver phase-1 buffers; the contributor-set
+        # guard must keep each rank's vector counted exactly once.
+        cfg = AllreduceConfig(vector_len=2)
+        r = run_sim(
+            make_allreduce_main(cfg), 5,
+            injectors=[KillAtProbe(rank=2, probe="post_send", hit=1)],
+            on_deadlock="return", detection_latency=2e-6,
+        )
+        assert not r.hung
+        rec = r.value(0)["allreduce"][0]
+        assert rec["sum"] == expected_sum(rec["contributors"], 2)
+
+
+class TestManagerWorker:
+    def test_failure_free_full_results(self):
+        cfg = FarmConfig(num_tasks=15)
+        r = run_sim(make_farm_mains(cfg, 4), 4)
+        assert r.value(0)["results"] == expected_results(cfg)
+        total_done = sum(r.value(i)["tasks_done"] for i in range(1, 4))
+        assert total_done == 15
+
+    def test_worker_death_mid_task_reassigned(self):
+        cfg = FarmConfig(num_tasks=12)
+        r = run_sim(
+            make_farm_mains(cfg, 4), 4,
+            injectors=[KillAtProbe(rank=2, probe="task_begin", hit=3)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        rep = r.value(0)
+        assert rep["results"] == expected_results(cfg)
+        assert rep["reassignments"] >= 1
+        assert rep["dead_workers"] == [2]
+
+    def test_worker_death_after_reporting_not_reassigned_twice(self):
+        cfg = FarmConfig(num_tasks=8)
+        r = run_sim(
+            make_farm_mains(cfg, 3), 3,
+            injectors=[KillAtProbe(rank=1, probe="task_reported", hit=2)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        assert r.value(0)["results"] == expected_results(cfg)
+
+    def test_two_workers_die(self):
+        cfg = FarmConfig(num_tasks=10)
+        r = run_sim(
+            make_farm_mains(cfg, 5), 5,
+            injectors=[
+                KillAtProbe(rank=1, probe="task_begin", hit=2),
+                KillAtProbe(rank=3, probe="task_computed", hit=1),
+            ],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        rep = r.value(0)
+        assert rep["results"] == expected_results(cfg)
+        assert set(rep["dead_workers"]) == {1, 3}
+
+    def test_all_workers_die_aborts(self):
+        cfg = FarmConfig(num_tasks=20, work_per_task=1e-6)
+        r = run_sim(
+            make_farm_mains(cfg, 3), 3,
+            injectors=[
+                KillAtProbe(rank=1, probe="task_begin", hit=1),
+                KillAtProbe(rank=2, probe="task_begin", hit=1),
+            ],
+            on_deadlock="return",
+        )
+        assert r.aborted is not None
+
+    def test_single_worker_carries_farm(self):
+        cfg = FarmConfig(num_tasks=9)
+        r = run_sim(
+            make_farm_mains(cfg, 3), 3,
+            injectors=[KillAtProbe(rank=1, probe="task_begin", hit=1)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        assert r.value(0)["results"] == expected_results(cfg)
+        assert r.value(2)["tasks_done"] >= 8

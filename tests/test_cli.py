@@ -1,0 +1,115 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestRingCommand:
+    def test_clean_run_exit_zero(self, capsys):
+        rc = main(["ring", "--nprocs", "4", "--iters", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ran through" in out
+        assert "completions" in out
+
+    def test_kill_probe_injection(self, capsys):
+        rc = main([
+            "ring", "--nprocs", "5", "--iters", "4",
+            "--kill-probe", "2:post_recv:2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "failed ranks: [2]" in out
+        assert "resends: 1" in out
+
+    def test_naive_hang_exit_code(self, capsys):
+        rc = main([
+            "ring", "--nprocs", "4", "--variant", "naive",
+            "--termination", "root_bcast",
+            "--kill-probe", "2:post_recv:2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "HANG" in out
+        assert "blocked processes" in out
+
+    def test_kill_time_injection(self, capsys):
+        rc = main([
+            "ring", "--nprocs", "4", "--iters", "5", "--work", "1e-6",
+            "--kill-time", "3:4.2e-6",
+        ])
+        assert rc == 0
+        assert "failed ranks: [3]" in capsys.readouterr().out
+
+    def test_spacetime_output(self, capsys):
+        rc = main(["ring", "--nprocs", "3", "--iters", "2", "--spacetime"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "time(us)" in out
+        assert "send>1" in out
+
+    def test_rootft_with_root_kill(self, capsys):
+        rc = main([
+            "ring", "--nprocs", "4", "--iters", "4", "--rootft",
+            "--kill-probe", "0:root_post_send:2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "failed ranks: [0]" in out
+
+
+class TestExploreCommand:
+    def test_ft_marker_clean(self, capsys):
+        rc = main(["explore", "--nprocs", "4", "--iters", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 hang(s)" in out
+
+    def test_naive_reports_failures(self, capsys):
+        rc = main(["explore", "--variant", "naive", "--iters", "2"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "HANG" in out
+
+
+class TestAppCommands:
+    def test_heat(self, capsys):
+        rc = main(["heat", "--nprocs", "4", "--steps", "6",
+                   "--kill-time", "2:2.5e-6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "total heat" in out
+
+    def test_farm(self, capsys):
+        rc = main(["farm", "--nprocs", "4", "--tasks", "8",
+                   "--kill-probe", "2:task_begin:2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tasks complete & correct: True" in out
+
+    def test_abft(self, capsys):
+        rc = main(["abft", "--kill-probe", "2:computed:2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "parity recoveries" in out
+
+    def test_abft_degraded_exit_code(self, capsys):
+        rc = main([
+            "abft",
+            "--kill-probe", "1:computed:2",
+            "--kill-probe", "2:computed:2",
+        ])
+        assert rc == 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_variant_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ring", "--variant", "bogus"])

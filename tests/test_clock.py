@@ -1,0 +1,96 @@
+"""Unit tests for the event queue and virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simmpi.clock import Event, EventQueue, VirtualClock
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(3.0, lambda: fired.append("c"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(2.0, lambda: fired.append("b"))
+        while q:
+            q.pop().fn()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        q = EventQueue()
+        fired = []
+        for i in range(10):
+            q.schedule(1.0, lambda i=i: fired.append(i))
+        while q:
+            q.pop().fn()
+        assert fired == list(range(10))
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.schedule(1.0, lambda: None)
+        assert q
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(1.0, lambda: fired.append("x"))
+        q.schedule(2.0, lambda: fired.append("y"))
+        ev.cancel()
+        q.note_cancelled()
+        first = q.pop()
+        first.fn()
+        assert fired == ["y"]
+        assert not q
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(5.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert q.peek_time() == 2.0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(4.0, lambda: None)
+        ev.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 4.0
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(float("nan"), lambda: None)
+
+    def test_events_compare_by_time_then_seq(self):
+        a = Event(time=1.0, seq=0, fn=lambda: None)
+        b = Event(time=1.0, seq=1, fn=lambda: None)
+        c = Event(time=0.5, seq=2, fn=lambda: None)
+        assert c < a < b
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advances_forward(self):
+        c = VirtualClock()
+        c.advance_to(3.5)
+        assert c.now == 3.5
+
+    def test_never_goes_backwards(self):
+        c = VirtualClock()
+        c.advance_to(2.0)
+        c.advance_to(1.0)
+        assert c.now == 2.0

@@ -1,0 +1,195 @@
+"""Corner cases: asymmetric detection, tiny rings, scale, repair stacking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ring_summary, standard_ring_invariants
+from repro.core import (
+    RingConfig,
+    RingVariant,
+    Termination,
+    make_ring_main,
+    make_rootft_main,
+)
+from repro.faults import KillAtProbe, KillAtTime
+from repro.simmpi import Simulation
+from tests.conftest import run_sim
+
+
+class TestTwoRankRing:
+    """With two participants P_L == P_R: the watchdog is suppressed."""
+
+    def test_failure_free(self):
+        cfg = RingConfig(max_iter=4, termination=Termination.VALIDATE_ALL)
+        r = run_sim(make_ring_main(cfg), 2)
+        assert r.value(0)["root_completions"] == [(i, 2) for i in range(4)]
+
+    def test_nonroot_death_aborts_lone_root(self):
+        cfg = RingConfig(max_iter=6, termination=Termination.VALIDATE_ALL,
+                         work_per_iter=1e-6)
+        r = run_sim(
+            make_ring_main(cfg), 2,
+            injectors=[KillAtProbe(rank=1, probe="post_recv", hit=2)],
+            on_deadlock="return",
+        )
+        # The root becomes alone: neighbor selection aborts, per Fig. 4.
+        assert r.aborted is not None
+
+    def test_three_to_two_shrink_keeps_watchdogless_pair_running(self):
+        cfg = RingConfig(max_iter=6, termination=Termination.VALIDATE_ALL)
+        r = run_sim(
+            make_ring_main(cfg), 3,
+            injectors=[KillAtProbe(rank=1, probe="post_recv", hit=2)],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        markers = [m for m, _v in r.value(0)["root_completions"]]
+        assert markers == list(range(6))
+
+
+class TestAsymmetricDetection:
+    def test_ring_survives_skewed_detector(self):
+        # Downstream learns *much* later than upstream: resends arrive at
+        # ranks that do not yet know the sender's right neighbor died.
+        def lat(observer: int, failed: int) -> float:
+            return 1e-7 if observer < 2 else 4e-6
+
+        cfg = RingConfig(max_iter=5, termination=Termination.VALIDATE_ALL)
+        r = run_sim(
+            make_ring_main(cfg), 5,
+            injectors=[KillAtProbe(rank=2, probe="post_send", hit=2)],
+            detection_latency=lat, on_deadlock="return",
+        )
+        assert not r.hung
+        for inv in standard_ring_invariants(5, 5):
+            assert inv(r) is None
+
+    def test_rootft_with_late_detecting_successor(self):
+        # The §III-D corner the last_discarded buffer exists for: the new
+        # root's own detection of the root death lags its predecessor's,
+        # so the recovery resend can arrive before the role change.
+        def lat(observer: int, failed: int) -> float:
+            if failed == 0 and observer == 1:
+                return 6e-6  # successor is the last to learn
+            return 1e-7
+
+        cfg = RingConfig(max_iter=5, work_per_iter=1e-6)
+        r = run_sim(
+            make_rootft_main(cfg), 4,
+            injectors=[KillAtProbe(rank=0, probe="root_post_recv", hit=2)],
+            detection_latency=lat, on_deadlock="return",
+        )
+        assert not r.hung
+        markers = [m for m, _v in r.value(1)["root_completions"]]
+        assert markers and markers[-1] == 4
+
+    @pytest.mark.parametrize("succ_lat", [1e-7, 2e-6, 6e-6, 1.2e-5])
+    def test_rootft_latency_sweep(self, succ_lat):
+        def lat(observer: int, failed: int) -> float:
+            return succ_lat if observer == 1 else 1e-7
+
+        cfg = RingConfig(max_iter=5, work_per_iter=1e-6)
+        r = run_sim(
+            make_rootft_main(cfg), 4,
+            injectors=[KillAtProbe(rank=0, probe="root_post_send", hit=3)],
+            detection_latency=lat, on_deadlock="return",
+        )
+        assert not r.hung, r.deadlock
+        for inv in standard_ring_invariants(5, 4, allow_root_loss=True):
+            assert inv(r) is None
+
+
+class TestTaggedVariantUnderStress:
+    def test_double_failure_windows(self):
+        for hits in ((2, 3), (1, 2), (3, 3)):
+            cfg = RingConfig(max_iter=4, variant=RingVariant.FT_TAGGED,
+                             termination=Termination.VALIDATE_ALL)
+            r = run_sim(
+                make_ring_main(cfg), 6,
+                injectors=[
+                    KillAtProbe(rank=2, probe="post_send", hit=hits[0]),
+                    KillAtProbe(rank=4, probe="post_recv", hit=hits[1]),
+                ],
+                detection_latency=1.5e-6, on_deadlock="return",
+            )
+            assert not r.hung
+            markers = [m for m, _v in r.value(0)["root_completions"]]
+            assert markers == list(range(4)), hits
+
+
+class TestScale:
+    def test_large_ring_failure_free(self):
+        cfg = RingConfig(max_iter=3, termination=Termination.ROOT_BCAST)
+        r = run_sim(make_ring_main(cfg), 48)
+        assert r.value(0)["root_completions"] == [(i, 48) for i in range(3)]
+
+    def test_large_ring_with_failures(self):
+        cfg = RingConfig(max_iter=4, termination=Termination.VALIDATE_ALL,
+                         work_per_iter=1e-7)
+        r = run_sim(
+            make_ring_main(cfg), 32,
+            injectors=[
+                KillAtProbe(rank=7, probe="post_recv", hit=2),
+                KillAtProbe(rank=8, probe="post_recv", hit=2),
+                KillAtProbe(rank=21, probe="post_send", hit=3),
+            ],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        s = ring_summary(r)
+        assert s["distinct_markers"] == 4
+        assert s["duplicate_completions"] == 0
+        assert s["survivors"] == 29
+
+    def test_large_ring_deterministic(self):
+        def build():
+            sim = Simulation(nprocs=24, seed=5, policy="random")
+            sim.add_injector(KillAtTime(rank=11, time=2e-5))
+            cfg = RingConfig(max_iter=3, termination=Termination.VALIDATE_ALL)
+            return sim, make_ring_main(cfg)
+
+        runs = []
+        for _ in range(2):
+            sim, main = build()
+            runs.append(sim.run(main, on_deadlock="return"))
+        assert runs[0].trace.keys() == runs[1].trace.keys()
+
+
+class TestRepairStacking:
+    def test_failures_in_consecutive_iterations_same_region(self):
+        # Two adjacent ranks die one iteration apart: the second repair
+        # must work over the topology produced by the first.
+        cfg = RingConfig(max_iter=6, termination=Termination.VALIDATE_ALL)
+        r = run_sim(
+            make_ring_main(cfg), 6,
+            injectors=[
+                KillAtProbe(rank=3, probe="post_recv", hit=2),
+                KillAtProbe(rank=2, probe="post_send", hit=3),
+            ],
+            on_deadlock="return",
+        )
+        assert not r.hung
+        markers = [m for m, _v in r.value(0)["root_completions"]]
+        assert markers == list(range(6))
+        rep1 = r.value(1)
+        # Rank 1 ends pointing past both dead neighbors.
+        assert rep1["right"] == 4
+
+    def test_every_other_rank_dies(self):
+        cfg = RingConfig(max_iter=5, termination=Termination.VALIDATE_ALL,
+                         work_per_iter=1e-6)
+        injectors = [
+            KillAtProbe(rank=r, probe="post_recv", hit=2)
+            for r in (1, 3, 5, 7)
+        ]
+        r = run_sim(
+            make_ring_main(RingConfig(max_iter=5,
+                                      termination=Termination.VALIDATE_ALL)),
+            8, injectors=injectors, on_deadlock="return",
+        )
+        assert not r.hung
+        markers = [m for m, _v in r.value(0)["root_completions"]]
+        assert markers == list(range(5))
+        # Final circle: 4 survivors, value = 4.
+        assert dict(r.value(0)["root_completions"])[4] == 4

@@ -1,0 +1,66 @@
+"""Unit tests for the LogGP-style cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simmpi import DEFAULT_COST, ZERO_COST, CostModel, HierarchicalCostModel
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        assert DEFAULT_COST.latency > 0
+        assert DEFAULT_COST.byte_cost > 0
+        assert DEFAULT_COST.overhead > 0
+
+    def test_zero_cost_is_free(self):
+        assert ZERO_COST.transit_time(0, 1, 10_000) == 0.0
+        assert ZERO_COST.send_overhead(0, 1, 10_000) == 0.0
+        assert ZERO_COST.recv_overhead(0, 1, 10_000) == 0.0
+
+    def test_transit_scales_with_bytes(self):
+        m = CostModel(latency=1e-6, byte_cost=1e-9)
+        small = m.transit_time(0, 1, 8)
+        big = m.transit_time(0, 1, 8_000_000)
+        assert big > small
+        assert big == pytest.approx(1e-6 + 8_000_000 * 1e-9)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(latency=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(byte_cost=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(overhead=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST.latency = 5.0  # type: ignore[misc]
+
+
+class TestHierarchicalCostModel:
+    def test_intra_node_uses_base_latency(self):
+        m = HierarchicalCostModel(
+            latency=1e-7, remote_latency=1e-5, ranks_per_node=4
+        )
+        assert m.transit_time(0, 3, 0) == pytest.approx(1e-7)
+
+    def test_inter_node_uses_remote_latency(self):
+        m = HierarchicalCostModel(
+            latency=1e-7, remote_latency=1e-5, ranks_per_node=4
+        )
+        assert m.transit_time(0, 4, 0) == pytest.approx(1e-5)
+
+    def test_node_boundary(self):
+        m = HierarchicalCostModel(ranks_per_node=2)
+        assert m._same_node(0, 1)
+        assert not m._same_node(1, 2)
+        assert m._same_node(2, 3)
+
+    def test_invalid_ranks_per_node(self):
+        with pytest.raises(ValueError):
+            HierarchicalCostModel(ranks_per_node=0)
+
+    def test_negative_remote_params_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalCostModel(remote_latency=-1.0)

@@ -1,0 +1,120 @@
+"""Property-based tests for the distributed protocols under random faults.
+
+These are the heavyweight correctness checks: hypothesis draws failure
+schedules (victims, times, detection latencies, consensus mode, scheduler
+seed) and asserts the system-level invariants the paper's design promises
+— consensus agreement, ring progress without hangs or duplicates, farm
+completeness.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import standard_ring_invariants
+from repro.apps import FarmConfig, expected_results, make_farm_mains
+from repro.core import RingConfig, Termination, make_ring_main, make_rootft_main
+from repro.faults import KillAtTime
+from repro.ft import comm_validate_all
+from repro.simmpi import ErrorHandler, Simulation
+
+COMMON = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def kills_strategy(nprocs: int, horizon: float, max_kills: int,
+                   include_root: bool = False):
+    lo = 0 if include_root else 1
+    return st.lists(
+        st.tuples(
+            st.integers(lo, nprocs - 1),
+            st.floats(min_value=0, max_value=horizon, allow_nan=False),
+        ),
+        max_size=max_kills,
+        unique_by=lambda kv: kv[0],
+    )
+
+
+class TestConsensusAgreement:
+    @given(
+        kills=kills_strategy(6, horizon=3e-5, max_kills=4),
+        mode=st.sampled_from(["full", "early"]),
+        lat=st.sampled_from([0.0, 3e-7, 2e-6]),
+        seed=st.integers(0, 3),
+    )
+    @settings(**COMMON)
+    def test_survivors_agree(self, kills, mode, lat, seed):
+        def main(mpi):
+            comm = mpi.comm_world
+            comm.set_errhandler(ErrorHandler.ERRORS_RETURN)
+            return comm_validate_all(comm, mode=mode)
+
+        sim = Simulation(nprocs=6, seed=seed, policy="random",
+                         detection_latency=lat)
+        for rank, t in kills:
+            sim.kill(rank, at_time=t)
+        r = sim.run(main, on_deadlock="return")
+        assert not r.hung, r.deadlock
+        counts = {v for v in r.values().values()}
+        assert len(counts) <= 1  # uniform agreement among survivors
+        if counts:
+            (count,) = counts
+            # Validity: the agreed count never exceeds true failures and
+            # only counts genuinely dead ranks.
+            assert count <= len(r.failed_ranks)
+
+
+class TestRingUnderRandomFaults:
+    @given(
+        kills=kills_strategy(5, horizon=1.2e-5, max_kills=3),
+        seed=st.integers(0, 3),
+        lat=st.sampled_from([0.0, 5e-7, 2e-6]),
+    )
+    @settings(**COMMON)
+    def test_marker_ring_invariants(self, kills, seed, lat):
+        cfg = RingConfig(max_iter=5, termination=Termination.VALIDATE_ALL,
+                         work_per_iter=1e-6)
+        sim = Simulation(nprocs=5, seed=seed, policy="random",
+                         detection_latency=lat)
+        for rank, t in kills:
+            sim.kill(rank, at_time=t)
+        r = sim.run(make_ring_main(cfg), on_deadlock="return")
+        for inv in standard_ring_invariants(5, 5):
+            violation = inv(r)
+            assert violation is None, (violation, kills, seed, lat)
+
+    @given(
+        kills=kills_strategy(5, horizon=1.2e-5, max_kills=2,
+                             include_root=True),
+        seed=st.integers(0, 3),
+    )
+    @settings(**COMMON)
+    def test_rootft_ring_invariants(self, kills, seed):
+        cfg = RingConfig(max_iter=5, work_per_iter=1e-6)
+        sim = Simulation(nprocs=5, seed=seed, policy="random")
+        for rank, t in kills:
+            sim.kill(rank, at_time=t)
+        r = sim.run(make_rootft_main(cfg), on_deadlock="return")
+        for inv in standard_ring_invariants(5, 5, allow_root_loss=True):
+            violation = inv(r)
+            assert violation is None, (violation, kills, seed)
+
+
+class TestFarmUnderRandomFaults:
+    @given(
+        kills=kills_strategy(5, horizon=1e-5, max_kills=2),
+        seed=st.integers(0, 3),
+    )
+    @settings(**COMMON)
+    def test_farm_completes_all_tasks(self, kills, seed):
+        cfg = FarmConfig(num_tasks=10, work_per_task=1e-6)
+        sim = Simulation(nprocs=5, seed=seed, policy="random")
+        for rank, t in kills:
+            sim.kill(rank, at_time=t)
+        r = sim.run(make_farm_mains(cfg, 5), on_deadlock="return")
+        assert not r.hung
+        if r.aborted is None and r.outcomes[0].state == "done":
+            assert r.value(0)["results"] == expected_results(cfg)

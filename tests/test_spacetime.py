@@ -1,0 +1,99 @@
+"""Space-time diagram rendering from traces."""
+
+from __future__ import annotations
+
+from repro.analysis import SpacetimeOptions, failure_story, render_spacetime
+from repro.core import RingConfig, Termination, make_ring_main
+from repro.faults import KillAtProbe
+from repro.simmpi import Trace, TraceKind
+from tests.conftest import run_sim
+
+
+def ring_result():
+    cfg = RingConfig(max_iter=2, termination=Termination.VALIDATE_ALL)
+    return run_sim(
+        make_ring_main(cfg), 4,
+        injectors=[KillAtProbe(rank=2, probe="post_recv", hit=1)],
+        on_deadlock="return",
+    )
+
+
+class TestRenderSpacetime:
+    def test_header_has_all_rank_columns(self):
+        r = ring_result()
+        out = render_spacetime(r.trace, 4)
+        header = out.splitlines()[0]
+        for col in ("time(us)", "r0", "r1", "r2", "r3"):
+            assert col in header
+
+    def test_failure_and_detection_rendered(self):
+        r = ring_result()
+        out = render_spacetime(r.trace, 4)
+        assert "FAILED" in out
+        assert "detect(2)" in out
+        assert "err<2" in out
+
+    def test_sends_and_recvs_rendered_with_peers(self):
+        r = ring_result()
+        out = render_spacetime(r.trace, 4)
+        assert "send>1" in out
+        assert "recv<0" in out
+
+    def test_validate_decisions_rendered(self):
+        r = ring_result()
+        out = render_spacetime(r.trace, 4)
+        assert "decide[2]" in out
+
+    def test_rank_filter(self):
+        r = ring_result()
+        out = render_spacetime(r.trace, 4, ranks=[0, 1])
+        assert "r3" not in out.splitlines()[0]
+        # Events of excluded ranks disappear.
+        assert "FAILED" not in out
+
+    def test_am_traffic_hidden_by_default(self):
+        r = ring_result()
+        default = render_spacetime(r.trace, 4)
+        opt = SpacetimeOptions(include_am=True)
+        with_am = render_spacetime(r.trace, 4, options=opt)
+        assert len(with_am.splitlines()) > len(default.splitlines())
+
+    def test_max_lines_truncation(self):
+        r = ring_result()
+        opt = SpacetimeOptions(max_lines=3)
+        out = render_spacetime(r.trace, 4, options=opt)
+        assert "more events" in out
+
+    def test_empty_trace(self):
+        out = render_spacetime(Trace(), 2)
+        assert len(out.splitlines()) == 2  # header + rule only
+
+    def test_failure_story_is_subset(self):
+        r = ring_result()
+        story = failure_story(r.trace, 4)
+        assert "FAILED" in story
+        assert "send>1" not in story  # normal traffic filtered out
+
+    def test_columns_aligned(self):
+        r = ring_result()
+        out = render_spacetime(r.trace, 4)
+        lines = out.splitlines()
+        opt = SpacetimeOptions()
+        # A r2 event must start exactly at r2's column offset.
+        r2_lines = [
+            ln for ln in lines if "FAILED" in ln
+        ]
+        assert r2_lines
+        expected_off = opt.time_width + 2 * opt.col_width
+        assert r2_lines[0].index("FAILED") == expected_off
+
+    def test_abort_and_deadlock_markers(self):
+        # Construct a trace by hand to cover rare kinds.
+        t = Trace()
+        t.record(0.0, TraceKind.ABORT, 1, code=-1)
+        t.record(0.0, TraceKind.DEADLOCK, 0, waiting="x")
+        t.record(0.0, TraceKind.SEND_DROP, 0, dst=1)
+        out = render_spacetime(t, 2)
+        assert "ABORT(-1)" in out
+        assert "BLOCKED*" in out
+        assert "drop>1" in out

@@ -1,0 +1,81 @@
+"""Unit tests for trace recording and querying."""
+
+from __future__ import annotations
+
+from repro.simmpi import Trace, TraceKind
+
+
+def make_trace() -> Trace:
+    t = Trace()
+    t.record(0.0, TraceKind.SEND_POST, 0, dst=1, tag=7)
+    t.record(1.0, TraceKind.DELIVER, 1, src=0, tag=7)
+    t.record(1.5, TraceKind.FAILURE, 2)
+    t.record(2.0, TraceKind.DETECT, 0, failed=2)
+    t.record(2.0, TraceKind.DETECT, 1, failed=2)
+    return t
+
+
+class TestTrace:
+    def test_len_and_iter(self):
+        t = make_trace()
+        assert len(t) == 5
+        assert len(list(t)) == 5
+
+    def test_getitem(self):
+        t = make_trace()
+        assert t[0].kind is TraceKind.SEND_POST
+        assert t[-1].rank == 1
+
+    def test_filter_by_kind(self):
+        t = make_trace()
+        assert len(t.filter(kind=TraceKind.DETECT)) == 2
+
+    def test_filter_by_rank(self):
+        t = make_trace()
+        assert len(t.filter(rank=1)) == 2
+
+    def test_filter_by_predicate(self):
+        t = make_trace()
+        hits = t.filter(predicate=lambda ev: ev.detail.get("tag") == 7)
+        assert len(hits) == 2
+
+    def test_filter_combined(self):
+        t = make_trace()
+        hits = t.filter(kind=TraceKind.DETECT, rank=0)
+        assert len(hits) == 1
+        assert hits[0].detail["failed"] == 2
+
+    def test_count_with_detail(self):
+        t = make_trace()
+        assert t.count(TraceKind.DETECT, failed=2) == 2
+        assert t.count(TraceKind.DETECT, failed=3) == 0
+
+    def test_disabled_trace_records_nothing(self):
+        t = Trace(enabled=False)
+        t.record(0.0, TraceKind.FAILURE, 0)
+        assert len(t) == 0
+
+    def test_format_contains_fields(self):
+        t = make_trace()
+        text = t.format()
+        assert "send_post" in text
+        assert "r2" in text
+
+    def test_format_limit(self):
+        t = make_trace()
+        text = t.format(limit=2)
+        assert "more" in text
+
+    def test_keys_stable(self):
+        assert make_trace().keys() == make_trace().keys()
+
+    def test_keys_differ_on_different_traces(self):
+        t1 = make_trace()
+        t2 = make_trace()
+        t2.record(9.0, TraceKind.ABORT, 0, code=-1)
+        assert t1.keys() != t2.keys()
+
+    def test_event_format_line(self):
+        t = make_trace()
+        line = t[0].format()
+        assert "dst=1" in line and "tag=7" in line

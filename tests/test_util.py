@@ -1,0 +1,60 @@
+"""Unit tests for the payload size estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import RingMsg
+from repro.simmpi.util import ENVELOPE_BYTES, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_none_is_envelope_only(self):
+        assert payload_nbytes(None) == ENVELOPE_BYTES
+
+    def test_int_float(self):
+        assert payload_nbytes(7) == ENVELOPE_BYTES + 8
+        assert payload_nbytes(3.14) == ENVELOPE_BYTES + 8
+
+    def test_bool_smaller_than_int(self):
+        assert payload_nbytes(True) < payload_nbytes(1)
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abcd") == ENVELOPE_BYTES + 4
+        assert payload_nbytes("abcd") == ENVELOPE_BYTES + 4
+        assert payload_nbytes("é") == ENVELOPE_BYTES + 2  # utf-8
+
+    def test_numpy_uses_nbytes(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert payload_nbytes(arr) == ENVELOPE_BYTES + 800
+
+    def test_containers_sum_elements(self):
+        assert payload_nbytes([1, 2, 3]) == ENVELOPE_BYTES + 8 + 3 * 8
+        assert payload_nbytes((1.0, 2.0)) == ENVELOPE_BYTES + 8 + 16
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_nbytes({1: 2}) == ENVELOPE_BYTES + 8 + 16
+
+    def test_dataclass_walks_fields(self):
+        msg = RingMsg(value=5, marker=3)
+        assert payload_nbytes(msg) == ENVELOPE_BYTES + 8 + 16
+
+    def test_nested_structure(self):
+        @dataclass
+        class Box:
+            items: list
+
+        b = Box(items=[1, "ab"])
+        assert payload_nbytes(b) > ENVELOPE_BYTES + 8
+
+    def test_deterministic(self):
+        payload = {"a": [1, 2.0, "xyz"], "b": (None, True)}
+        assert payload_nbytes(payload) == payload_nbytes(payload)
+
+    def test_opaque_object_flat_guess(self):
+        class Weird:
+            __slots__ = ()
+
+        assert payload_nbytes(Weird()) == ENVELOPE_BYTES + 8
