@@ -13,34 +13,50 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.analysis import ascii_table, message_stats
 from repro.core import RingConfig, RingVariant, Termination
 from repro.faults import KillAtProbe
-from conftest import emit, run_ring_scenario, timed
+from conftest import emit, run_ring_scenario, sweep_runner, timed
 
 N = 4
 ITERS = 4
 SCENARIO = dict(rank=2, probe="post_send", hit=2)
 
 
+@dataclass(frozen=True)
+class DedupJob:
+    """Fig. 8 scenario under one dedup scheme, reduced to a table row."""
+
+    label: str
+    variant: str
+
+    def __call__(self):
+        cfg = RingConfig(max_iter=ITERS, variant=RingVariant(self.variant),
+                         termination=Termination.ROOT_BCAST)
+        r = run_ring_scenario(
+            cfg, N, injectors=[KillAtProbe(**SCENARIO)],
+            detection_latency=2e-6,
+        )
+        markers = [m for m, _v in r.value(0)["root_completions"]]
+        discarded = sum(r.value(i)["duplicates_discarded"]
+                        for i in r.completed_ranks)
+        return [self.label, markers == list(range(ITERS)), discarded,
+                message_stats(r).sends]
+
+
 def bench_ablation_dedup_scheme(benchmark):
     rows = []
+    runner = sweep_runner()
+    jobs = [
+        DedupJob("markers (same tag)", RingVariant.FT_MARKER.value),
+        DedupJob("split resend tag", RingVariant.FT_TAGGED.value),
+    ]
 
     def run_all():
         rows.clear()
-        for label, variant in (("markers (same tag)", RingVariant.FT_MARKER),
-                               ("split resend tag", RingVariant.FT_TAGGED)):
-            cfg = RingConfig(max_iter=ITERS, variant=variant,
-                             termination=Termination.ROOT_BCAST)
-            r = run_ring_scenario(
-                cfg, N, injectors=[KillAtProbe(**SCENARIO)],
-                detection_latency=2e-6,
-            )
-            markers = [m for m, _v in r.value(0)["root_completions"]]
-            discarded = sum(r.value(i)["duplicates_discarded"]
-                            for i in r.completed_ranks)
-            rows.append([label, markers == list(range(ITERS)), discarded,
-                         message_stats(r).sends])
+        rows.extend(runner.run(jobs))
         return rows
 
     timed(benchmark, run_all)
@@ -55,24 +71,35 @@ def bench_ablation_dedup_scheme(benchmark):
     assert all(clean for _l, clean, _d, _m in rows)
 
 
+@dataclass(frozen=True)
+class LatencyJob:
+    """Fig. 8 scenario at one detector latency, reduced to a table row."""
+
+    latency: float
+
+    def __call__(self):
+        cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_MARKER,
+                         termination=Termination.VALIDATE_ALL)
+        r = run_ring_scenario(
+            cfg, N, injectors=[KillAtProbe(**SCENARIO)],
+            detection_latency=self.latency,
+        )
+        resends = sum(r.value(i)["resends"] for i in r.completed_ranks)
+        discarded = sum(r.value(i)["duplicates_discarded"]
+                        for i in r.completed_ranks)
+        drops = message_stats(r).drops
+        return [self.latency, not r.hung, resends, discarded, drops,
+                r.final_time]
+
+
 def bench_ablation_detection_latency(benchmark):
     rows = []
+    runner = sweep_runner()
+    jobs = [LatencyJob(lat) for lat in (0.0, 1e-6, 2e-6, 4e-6)]
 
     def run_all():
         rows.clear()
-        for lat in (0.0, 1e-6, 2e-6, 4e-6):
-            cfg = RingConfig(max_iter=ITERS, variant=RingVariant.FT_MARKER,
-                             termination=Termination.VALIDATE_ALL)
-            r = run_ring_scenario(
-                cfg, N, injectors=[KillAtProbe(**SCENARIO)],
-                detection_latency=lat,
-            )
-            resends = sum(r.value(i)["resends"] for i in r.completed_ranks)
-            discarded = sum(r.value(i)["duplicates_discarded"]
-                            for i in r.completed_ranks)
-            drops = message_stats(r).drops
-            rows.append([lat, not r.hung, resends, discarded, drops,
-                         r.final_time])
+        rows.extend(runner.run(jobs))
         return rows
 
     timed(benchmark, run_all)
@@ -144,28 +171,42 @@ def bench_ablation_ibarrier_termination(benchmark):
     assert not rows[2][1]  # the split hang — why the paper rejects it
 
 
+@dataclass(frozen=True)
+class WatchdogJob:
+    """One control-loss window under one receive design: did it hang?"""
+
+    variant: str
+    rank: int
+    hit: int
+
+    def __call__(self) -> bool:
+        cfg = RingConfig(max_iter=ITERS, variant=RingVariant(self.variant),
+                         termination=Termination.ROOT_BCAST)
+        r = run_ring_scenario(
+            cfg, N,
+            injectors=[KillAtProbe(rank=self.rank, probe="post_recv",
+                                   hit=self.hit)],
+        )
+        return bool(r.hung)
+
+
 def bench_ablation_watchdog(benchmark):
     rows = []
+    runner = sweep_runner()
+    designs = [("with watchdog (Fig. 9)", RingVariant.FT_MARKER.value),
+               ("without watchdog (naive)", RingVariant.NAIVE.value)]
+    jobs = [WatchdogJob(variant, rank, hit)
+            for _label, variant in designs
+            for rank in (1, 2, 3)
+            for hit in range(1, ITERS + 1)]
+    per_design = len(jobs) // len(designs)
 
     def run_all():
         rows.clear()
-        for label, variant in (("with watchdog (Fig. 9)",
-                                RingVariant.FT_MARKER),
-                               ("without watchdog (naive)",
-                                RingVariant.NAIVE)):
-            hangs = windows = 0
-            for rank in (1, 2, 3):
-                for hit in range(1, ITERS + 1):
-                    cfg = RingConfig(max_iter=ITERS, variant=variant,
-                                     termination=Termination.ROOT_BCAST)
-                    r = run_ring_scenario(
-                        cfg, N,
-                        injectors=[KillAtProbe(rank=rank, probe="post_recv",
-                                               hit=hit)],
-                    )
-                    windows += 1
-                    hangs += bool(r.hung)
-            rows.append([label, windows, hangs])
+        hung = runner.run(jobs)
+        for i, (label, _variant) in enumerate(designs):
+            chunk = hung[i * per_design : (i + 1) * per_design]
+            rows.append([label, len(chunk), sum(chunk)])
         return rows
 
     timed(benchmark, run_all)

@@ -7,38 +7,36 @@ iteration, every receive/send boundary) from the deterministic reference
 run, inject a fail-stop at each — and at each *pair* — and check the full
 invariant battery.  The table reports the complete coverage map per
 design variant.
+
+The per-window re-runs execute through the :mod:`repro.parallel` sweep
+engine: serial by default, fanned over ``REPRO_BENCH_WORKERS`` processes
+when set.  Scenario factories are picklable
+:class:`~repro.parallel.RingScenario` specs, so the same bench measures
+both the serial and the pooled path; the coverage tables are identical
+either way.
 """
 
 from __future__ import annotations
 
-from repro.analysis import ascii_table, standard_ring_invariants
-from repro.core import (
-    RingConfig,
-    RingVariant,
-    Termination,
-    make_ring_main,
-    make_rootft_main,
-)
+from repro.analysis import ascii_table
+from repro.core import RingVariant
+from repro.parallel import RingScenario, StandardRingInvariants
 from repro.faults import explore
-from repro.simmpi import Simulation
-from conftest import emit, timed
+from conftest import emit, sweep_runner, timed
 
 N = 4
 ITERS = 3
 
 
-def _factory(variant=RingVariant.FT_MARKER, rootft=False):
-    def factory():
-        cfg = RingConfig(max_iter=ITERS, variant=variant,
-                         termination=Termination.VALIDATE_ALL)
-        main = make_rootft_main(cfg) if rootft else make_ring_main(cfg)
-        return Simulation(nprocs=N), main
-
-    return factory
+def _scenario(variant=RingVariant.FT_MARKER, rootft=False) -> RingScenario:
+    return RingScenario(
+        nprocs=N, iters=ITERS, variant=variant.value, rootft=rootft
+    )
 
 
 def bench_sweep_single_failures(benchmark):
     rows = []
+    runner = sweep_runner()
 
     def run_all():
         rows.clear()
@@ -51,11 +49,12 @@ def bench_sweep_single_failures(benchmark):
         ]
         for name, variant, rootft, ranks, root_loss in specs:
             rep = explore(
-                _factory(variant, rootft),
-                invariants=standard_ring_invariants(
+                _scenario(variant, rootft),
+                invariants=StandardRingInvariants(
                     ITERS, N, allow_root_loss=root_loss
                 ),
                 ranks=ranks,
+                runner=runner,
             )
             s = rep.summary()
             rows.append([name, s["windows"], s["ok"], s["hangs"],
@@ -79,18 +78,20 @@ def bench_sweep_single_failures(benchmark):
 
 def bench_sweep_double_failures(benchmark):
     rows = []
+    runner = sweep_runner()
 
     def run_all():
         rows.clear()
         for name, rootft, root_loss in (("ft_marker", False, False),
                                         ("rootft", True, True)):
             rep = explore(
-                _factory(RingVariant.FT_MARKER, rootft),
-                invariants=standard_ring_invariants(
+                _scenario(RingVariant.FT_MARKER, rootft),
+                invariants=StandardRingInvariants(
                     ITERS, N, allow_root_loss=root_loss
                 ),
                 ranks=None if rootft else [1, 2, 3],
                 pairs=True,
+                runner=runner,
             )
             s = rep.summary()
             rows.append([name, s["runs"], s["ok"], s["hangs"],

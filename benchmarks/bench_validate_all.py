@@ -8,14 +8,22 @@ Characterizes the FloodSet agreement behind the collective validate:
   *during* the protocol;
 * monotone count: successive validates report the accumulated total,
   per the paper's "total number of failures" contract.
+
+The size/mode and failure-count sweeps are independent simulations, so
+they run as picklable job batches on the :mod:`repro.parallel` sweep
+engine (serial by default; ``REPRO_BENCH_WORKERS=N`` fans them out).
+Each job reduces its run to one table row inside the worker — traces
+never cross the process boundary.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.analysis import ascii_table
 from repro.ft import comm_validate_all
 from repro.simmpi import ErrorHandler, Simulation, TraceKind
-from conftest import emit, timed
+from conftest import emit, sweep_runner, timed
 
 SIZES = [2, 4, 8, 16]
 
@@ -35,16 +43,44 @@ def _validate_run(n: int, mode: str, kills=()):
     return sim.run(main, on_deadlock="return")
 
 
+@dataclass(frozen=True)
+class MessageCostJob:
+    """One failure-free validate: reduce to a (n, mode, msgs, time) row."""
+
+    n: int
+    mode: str
+
+    def __call__(self):
+        r = _validate_run(self.n, self.mode)
+        msgs = len(r.trace.filter(kind=TraceKind.SEND_POST))
+        return [self.n, self.mode, msgs, r.final_time]
+
+
+@dataclass(frozen=True)
+class ResilienceJob:
+    """Validate with ranks dying mid-protocol: reduce to one row."""
+
+    n: int
+    nfail: int
+    mode: str
+
+    def __call__(self):
+        kills = [(i, 1e-7 * (i + 1)) for i in range(1, 1 + self.nfail)]
+        r = _validate_run(self.n, self.mode, kills=kills)
+        counts = {v for v in r.values().values() if v is not None}
+        return [self.n, self.nfail, self.mode, not r.hung,
+                len(counts) <= 1, sorted(counts)]
+
+
 def bench_validate_message_cost(benchmark):
     rows = []
+    runner = sweep_runner()
+    jobs = [MessageCostJob(n, mode)
+            for n in SIZES for mode in ("full", "early")]
 
     def run_all():
         rows.clear()
-        for n in SIZES:
-            for mode in ("full", "early"):
-                r = _validate_run(n, mode)
-                msgs = len(r.trace.filter(kind=TraceKind.SEND_POST))
-                rows.append([n, mode, msgs, r.final_time])
+        rows.extend(runner.run(jobs))
         return rows
 
     timed(benchmark, run_all)
@@ -63,17 +99,13 @@ def bench_validate_message_cost(benchmark):
 
 def bench_validate_resilience(benchmark):
     rows = []
+    runner = sweep_runner()
+    jobs = [ResilienceJob(6, nfail, mode)
+            for nfail in (1, 2, 3, 5) for mode in ("full", "early")]
 
     def run_all():
         rows.clear()
-        n = 6
-        for nfail in (1, 2, 3, 5):
-            for mode in ("full", "early"):
-                kills = [(i, 1e-7 * (i + 1)) for i in range(1, 1 + nfail)]
-                r = _validate_run(n, mode, kills=kills)
-                counts = {v for v in r.values().values() if v is not None}
-                rows.append([n, nfail, mode, not r.hung,
-                             len(counts) <= 1, sorted(counts)])
+        rows.extend(runner.run(jobs))
         return rows
 
     timed(benchmark, run_all)

@@ -4,16 +4,49 @@ Each ``bench_figN_*.py`` regenerates one figure of the paper: it runs the
 corresponding scenario(s), prints the rows/series as an ASCII table (these
 tables are embedded in EXPERIMENTS.md), asserts the *shape* the paper
 reports, and times the simulation through pytest-benchmark.
+
+Two cross-cutting services live here:
+
+* **sweep fan-out** — :func:`sweep_runner` gives every sweep-style bench
+  a :class:`repro.parallel.SweepRunner`.  Serial by default (CI-friendly
+  on small machines); set ``REPRO_BENCH_WORKERS=N`` to fan the
+  independent simulations of each sweep across ``N`` worker processes.
+  The tables are identical either way — only wall time changes.
+* **perf trajectory** — every series timed through :func:`timed` also
+  lands in ``benchmarks/BENCH_simperf.json`` (series name → mean/min
+  wall seconds and throughput) so future changes can be compared against
+  a machine-readable baseline, not just the human tables.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 import pytest
 
 from repro.core import RingConfig, make_ring_main, make_rootft_main
+from repro.parallel import SweepRunner, make_runner
 from repro.simmpi import Simulation, SimulationResult
+
+#: series name -> list of observed wall-clock durations (seconds).
+_PERF: dict[str, list[float]] = {}
+
+_PERF_PATH = Path(__file__).resolve().parent / "BENCH_simperf.json"
+
+
+def sweep_runner() -> SweepRunner:
+    """The runner sweep-style benches execute their job batches on.
+
+    ``REPRO_BENCH_WORKERS`` (default ``1`` → serial, in-process) selects
+    the process-pool fan-out width.  Results are merged in submission
+    order, so tables and assertions never depend on the setting.
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return make_runner(workers)
 
 
 def run_ring_scenario(
@@ -35,15 +68,59 @@ def run_ring_scenario(
     return sim.run(main, on_deadlock="return")
 
 
+def _series_name() -> str:
+    """Name of the currently executing bench (from pytest's env marker)."""
+    current = os.environ.get("PYTEST_CURRENT_TEST", "unknown")
+    # "benchmarks/bench_x.py::bench_name (call)" -> "bench_name"
+    return current.split("::")[-1].split(" ")[0]
+
+
 def timed(benchmark: Any, fn: Callable[[], Any]) -> Any:
     """Run *fn* under pytest-benchmark with a small fixed round count.
 
     The simulations are deterministic, so a handful of rounds measures
-    harness wall-time without wasting the suite's budget.
+    harness wall-time without wasting the suite's budget.  Durations are
+    also recorded for the ``BENCH_simperf.json`` perf trajectory.
     """
-    return benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)
+    durations = _PERF.setdefault(_series_name(), [])
+
+    def instrumented() -> Any:
+        t0 = time.perf_counter()
+        out = fn()
+        durations.append(time.perf_counter() - t0)
+        return out
+
+    return benchmark.pedantic(instrumented, rounds=3, iterations=1,
+                              warmup_rounds=1)
 
 
 def emit(title: str, body: str) -> None:
     """Print a table block (captured into bench_output.txt by the runner)."""
     print(f"\n=== {title} ===\n{body}")
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    """Write the machine-readable perf summary for the series that ran."""
+    if not _PERF:
+        return
+    summary: dict[str, Any] = {}
+    if _PERF_PATH.exists():  # partial runs update, not clobber, the file
+        try:
+            summary = json.loads(_PERF_PATH.read_text())
+        except (OSError, ValueError):
+            summary = {}
+    updated = False
+    for name, durations in sorted(_PERF.items()):
+        if not durations:
+            continue
+        mean = sum(durations) / len(durations)
+        summary[name] = {
+            "mean_wall_s": mean,
+            "min_wall_s": min(durations),
+            "rounds": len(durations),
+            "throughput_per_s": (1.0 / mean) if mean > 0 else None,
+        }
+        updated = True
+    if updated:
+        _PERF_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True)
+                              + "\n")

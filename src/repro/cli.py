@@ -10,7 +10,14 @@ Subcommands
 
 ``explore``
     Exhaustively sweep a fail-stop through every reachable failure window
-    of the ring (paper §III-E) and print the coverage map.
+    of the ring (paper §III-E) and print the coverage map.  ``--workers``
+    fans the per-window re-runs across a process pool.
+
+``campaign``
+    Randomized fault-injection campaign: sample many seeds, kill random
+    ranks at random virtual times, check the invariant battery.
+    ``--workers`` fans the runs across a process pool; the report is
+    identical to a serial run.
 
 ``heat`` / ``farm`` / ``abft``
     Run the bundled domain applications under optional failures.
@@ -19,7 +26,8 @@ Examples::
 
     python -m repro ring --nprocs 8 --iters 6 --kill-probe 3:post_recv:2
     python -m repro ring --variant naive --kill-probe 2:post_recv:2
-    python -m repro explore --variant ft_marker --pairs
+    python -m repro explore --variant ft_marker --pairs --workers 4
+    python -m repro campaign --nprocs 16 --runs 200 --workers 4
     python -m repro abft --kill-probe 2:computed:3
 """
 
@@ -33,7 +41,6 @@ from .analysis import (
     dict_table,
     render_spacetime,
     ring_summary,
-    standard_ring_invariants,
 )
 from .apps import (
     AbftConfig,
@@ -51,7 +58,8 @@ from .core import (
     make_ring_main,
     make_rootft_main,
 )
-from .faults import FailureSchedule, explore
+from .faults import FailureSchedule, explore, run_campaign
+from .parallel import RingScenario, StandardRingInvariants
 from .simmpi import Simulation
 
 
@@ -124,27 +132,48 @@ def cmd_ring(args: argparse.Namespace) -> int:
     return 2 if s["hung"] else 0
 
 
-def cmd_explore(args: argparse.Namespace) -> int:
-    cfg = RingConfig(
-        max_iter=args.iters,
-        variant=RingVariant(args.variant),
-        termination=Termination(args.termination),
+def _ring_scenario(args: argparse.Namespace) -> RingScenario:
+    """Picklable ring factory from CLI arguments (crosses pool boundaries)."""
+    return RingScenario(
+        nprocs=args.nprocs,
+        iters=args.iters,
+        variant=args.variant,
+        termination=args.termination,
+        rootft=args.rootft,
+        seed=args.seed,
+        detection_latency=args.detection_latency,
     )
 
-    def factory():
-        sim = Simulation(nprocs=args.nprocs, seed=args.seed,
-                         detection_latency=args.detection_latency)
-        main = make_rootft_main(cfg) if args.rootft else make_ring_main(cfg)
-        return sim, main
 
+def cmd_explore(args: argparse.Namespace) -> int:
     ranks = None if args.rootft else list(range(1, args.nprocs))
     rep = explore(
-        factory,
-        invariants=standard_ring_invariants(
+        _ring_scenario(args),
+        invariants=StandardRingInvariants(
             args.iters, args.nprocs, allow_root_loss=args.rootft
         ),
         ranks=ranks,
         pairs=args.pairs,
+        workers=args.workers,
+    )
+    print(rep.format())
+    return 1 if rep.failures else 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    eligible = None
+    if args.rootft:
+        eligible = list(range(args.nprocs))  # the root may die too
+    rep = run_campaign(
+        _ring_scenario(args),
+        seeds=range(args.first_seed, args.first_seed + args.runs),
+        horizon=args.horizon,
+        kills_per_run=args.kills,
+        eligible_ranks=eligible,
+        invariants=StandardRingInvariants(
+            args.iters, args.nprocs, allow_root_loss=args.rootft
+        ),
+        workers=args.workers,
     )
     print(rep.format())
     return 1 if rep.failures else 0
@@ -237,7 +266,34 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--rootft", action="store_true")
     ex.add_argument("--pairs", action="store_true",
                     help="also sweep every pair of windows")
+    ex.add_argument("--workers", type=int, default=None,
+                    help="fan the re-runs over N worker processes "
+                         "(default: serial; the report is identical)")
     ex.set_defaults(fn=cmd_explore)
+
+    camp = sub.add_parser(
+        "campaign", help="randomized fault-injection campaign"
+    )
+    common(camp, 8)
+    camp.add_argument("--iters", type=int, default=6)
+    camp.add_argument("--variant", default="ft_marker",
+                      choices=[v.value for v in RingVariant])
+    camp.add_argument("--termination", default="validate_all",
+                      choices=[t.value for t in Termination])
+    camp.add_argument("--rootft", action="store_true",
+                      help="use the §III-D driver and let the root die too")
+    camp.add_argument("--runs", type=int, default=100,
+                      help="number of sampled runs (one seed each)")
+    camp.add_argument("--first-seed", type=int, default=0,
+                      help="first campaign seed (seeds are consecutive)")
+    camp.add_argument("--horizon", type=float, default=2e-5,
+                      help="kill times are sampled uniformly in [0, horizon)")
+    camp.add_argument("--kills", type=int, default=1,
+                      help="fail-stops injected per run")
+    camp.add_argument("--workers", type=int, default=None,
+                      help="fan the runs over N worker processes "
+                           "(default: serial; the report is identical)")
+    camp.set_defaults(fn=cmd_campaign)
 
     heat = sub.add_parser("heat", help="fault-tolerant heat diffusion")
     common(heat, 6)

@@ -5,6 +5,14 @@ explorer enumerates probe-point windows, a campaign samples *timing-level*
 failure placements (virtual-time kills and seeded per-call coin flips)
 across many seeds — the style of testing the paper's §III-E describes as
 "intensive use of fault injection tools".
+
+Every sampled run is an independent deterministic simulation, so a
+campaign is embarrassingly parallel: :func:`run_campaign` builds one
+picklable :class:`CampaignJob` per seed and hands the batch to a
+:class:`~repro.parallel.SweepRunner`.  Results are merged in seed order
+regardless of completion order, making the :class:`CampaignReport`
+bit-identical between serial and pooled execution (see
+``docs/parallel.md``).
 """
 
 from __future__ import annotations
@@ -13,8 +21,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..simmpi.runtime import Simulation, SimulationResult
-from .explorer import Invariant, ScenarioFactory
+from ..parallel.jobs import (
+    InvariantSpec,
+    ScenarioFactory,
+    check_invariants,
+)
+from ..parallel.runner import SweepRunner, make_runner
+from ..simmpi.runtime import SimulationResult
 from .injector import CompositeInjector, KillAtTime
 
 
@@ -69,6 +82,53 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+@dataclass
+class CampaignJob:
+    """Picklable unit of campaign work: one seed's sampled run.
+
+    The failure placement is derived from ``seed`` alone (the scenario's
+    rank count is read from a freshly built simulation), so the job can
+    execute in any process and still land exactly where the serial loop
+    would have placed it.
+    """
+
+    factory: ScenarioFactory
+    seed: int
+    horizon: float
+    kills_per_run: int = 1
+    eligible_ranks: tuple[int, ...] | None = None
+    invariants: InvariantSpec = ()
+    keep_results: bool = False
+
+    def __call__(self) -> CampaignRun:
+        rng = random.Random(self.seed)
+        sim, main = self.factory()
+        ranks = (
+            list(self.eligible_ranks)
+            if self.eligible_ranks is not None
+            else list(range(1, sim.nprocs))
+        )
+        if self.kills_per_run > len(ranks):
+            raise ValueError("kills_per_run exceeds eligible ranks")
+        victims = rng.sample(ranks, self.kills_per_run)
+        kills = tuple(
+            sorted((v, rng.uniform(0.0, self.horizon)) for v in victims)
+        )
+        sim.add_injector(
+            CompositeInjector(KillAtTime(rank=v, time=t) for v, t in kills)
+        )
+        result = sim.run(main, on_deadlock="return")
+        violations = check_invariants(self.invariants, result)
+        return CampaignRun(
+            seed=self.seed,
+            kills=kills,
+            hung=result.hung,
+            aborted=result.aborted is not None,
+            violations=violations,
+            result=result if self.keep_results else None,
+        )
+
+
 def run_campaign(
     factory: ScenarioFactory,
     *,
@@ -76,8 +136,10 @@ def run_campaign(
     horizon: float,
     kills_per_run: int = 1,
     eligible_ranks: Sequence[int] | None = None,
-    invariants: Sequence[Invariant] = (),
+    invariants: InvariantSpec = (),
     keep_results: bool = False,
+    workers: int | None = None,
+    runner: SweepRunner | None = None,
 ) -> CampaignReport:
     """Sample ``len(seeds)`` runs, each killing ``kills_per_run`` distinct
     ranks at uniform-random virtual times in ``[0, horizon)``.
@@ -85,35 +147,27 @@ def run_campaign(
     ``eligible_ranks`` restricts who may die (default: every rank of the
     scenario except rank 0 — matching the paper's root-survives
     assumption; pass an explicit list to include the root).
+
+    ``workers`` > 1 fans the runs out across a process pool (``factory``
+    and ``invariants`` must then be picklable — see
+    :mod:`repro.parallel.scenarios`); pass ``runner`` to control
+    chunking, timeouts, and retries directly.  The report is identical
+    either way.
     """
-    runs: list[CampaignRun] = []
-    for seed in seeds:
-        rng = random.Random(seed)
-        sim, main = factory()
-        ranks = (
-            list(eligible_ranks)
-            if eligible_ranks is not None
-            else list(range(1, sim.nprocs))
+    jobs = [
+        CampaignJob(
+            factory=factory,
+            seed=seed,
+            horizon=horizon,
+            kills_per_run=kills_per_run,
+            eligible_ranks=(
+                tuple(eligible_ranks) if eligible_ranks is not None else None
+            ),
+            invariants=invariants,
+            keep_results=keep_results,
         )
-        if kills_per_run > len(ranks):
-            raise ValueError("kills_per_run exceeds eligible ranks")
-        victims = rng.sample(ranks, kills_per_run)
-        kills = tuple(
-            sorted((v, rng.uniform(0.0, horizon)) for v in victims)
-        )
-        sim.add_injector(
-            CompositeInjector(KillAtTime(rank=v, time=t) for v, t in kills)
-        )
-        result = sim.run(main, on_deadlock="return")
-        violations = [v for inv in invariants if (v := inv(result)) is not None]
-        runs.append(
-            CampaignRun(
-                seed=seed,
-                kills=kills,
-                hung=result.hung,
-                aborted=result.aborted is not None,
-                violations=violations,
-                result=result if keep_results else None,
-            )
-        )
-    return CampaignReport(runs=runs)
+        for seed in seeds
+    ]
+    if runner is None:
+        runner = make_runner(workers)
+    return CampaignReport(runs=runner.run(jobs))

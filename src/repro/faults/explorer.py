@@ -15,23 +15,42 @@ so we can:
 
 The result is a complete map of "what happens if a process dies *here*"
 — the tool the paper wishes existed.
+
+Step 2 is a batch of independent deterministic simulations, so
+:func:`explore` fans it out through a
+:class:`~repro.parallel.SweepRunner`: one picklable :class:`WindowJob`
+per window (and per pair), merged back in enumeration order so the
+:class:`ExplorationReport` is bit-identical to a serial sweep.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Iterable, Sequence
 
-from ..simmpi.runtime import Simulation, SimulationResult
+from ..parallel.jobs import (
+    Invariant,
+    InvariantSpec,
+    ScenarioFactory,
+    check_invariants,
+)
+from ..parallel.runner import SweepRunner, make_runner
+from ..simmpi.runtime import SimulationResult
 from ..simmpi.trace import TraceKind
 from .injector import CompositeInjector, FaultInjector, KillAtProbe
 
-#: Builds a fresh, un-run Simulation plus its per-rank main(s).
-ScenarioFactory = Callable[[], tuple[Simulation, Any]]
-
-#: An invariant inspects a result and returns a violation message or None.
-Invariant = Callable[[SimulationResult], str | None]
+__all__ = [
+    "ExplorationReport",
+    "Invariant",
+    "ScenarioFactory",
+    "ScenarioOutcome",
+    "Window",
+    "WindowJob",
+    "enumerate_windows",
+    "explore",
+    "run_window",
+]
 
 
 @dataclass(frozen=True)
@@ -126,37 +145,58 @@ def enumerate_windows(
     return windows
 
 
+@dataclass
+class WindowJob:
+    """Picklable unit of exploration work: one fault-injected re-run."""
+
+    factory: ScenarioFactory
+    windows: tuple[Window, ...]
+    invariants: InvariantSpec = ()
+    keep_results: bool = False
+
+    def __call__(self) -> ScenarioOutcome:
+        sim, main = self.factory()
+        sim.add_injector(
+            CompositeInjector(w.injector() for w in self.windows)
+        )
+        result = sim.run(main, on_deadlock="return")
+        violations = check_invariants(self.invariants, result)
+        return ScenarioOutcome(
+            windows=self.windows,
+            hung=result.hung,
+            aborted=result.aborted is not None,
+            violations=violations,
+            result=result if self.keep_results else None,
+        )
+
+
 def run_window(
     factory: ScenarioFactory,
     windows: Window | Iterable[Window],
-    invariants: Sequence[Invariant] = (),
+    invariants: InvariantSpec = (),
     keep_results: bool = False,
 ) -> ScenarioOutcome:
     """Re-run the scenario with fail-stop injected at the given window(s)."""
     if isinstance(windows, Window):
         windows = (windows,)
-    wins = tuple(windows)
-    sim, main = factory()
-    sim.add_injector(CompositeInjector(w.injector() for w in wins))
-    result = sim.run(main, on_deadlock="return")
-    violations = [v for inv in invariants if (v := inv(result)) is not None]
-    return ScenarioOutcome(
-        windows=wins,
-        hung=result.hung,
-        aborted=result.aborted is not None,
-        violations=violations,
-        result=result if keep_results else None,
-    )
+    return WindowJob(
+        factory=factory,
+        windows=tuple(windows),
+        invariants=invariants,
+        keep_results=keep_results,
+    )()
 
 
 def explore(
     factory: ScenarioFactory,
-    invariants: Sequence[Invariant] = (),
+    invariants: InvariantSpec = (),
     probes: Sequence[str] | None = None,
     ranks: Sequence[int] | None = None,
     max_windows: int | None = None,
     pairs: bool = False,
     keep_results: bool = False,
+    workers: int | None = None,
+    runner: SweepRunner | None = None,
 ) -> ExplorationReport:
     """Exhaustively inject a failure at every reachable window.
 
@@ -164,19 +204,39 @@ def explore(
     on *distinct* ranks (double-failure scenarios).  ``max_windows`` caps
     the enumeration for large scenarios (a cap is reported, never silent:
     the report's ``reference_windows`` shows what was considered).
+
+    The reference run executes in-process; the per-window re-runs go
+    through a :class:`~repro.parallel.SweepRunner` — serial by default,
+    a process pool with ``workers`` > 1 (``factory``/``invariants`` must
+    then be picklable).  Outcomes keep enumeration order either way, so
+    the report does not depend on the worker count.
     """
     windows = enumerate_windows(factory, probes=probes, ranks=ranks)
     if max_windows is not None:
         windows = windows[:max_windows]
-    outcomes = [
-        run_window(factory, w, invariants, keep_results=keep_results)
+    jobs = [
+        WindowJob(
+            factory=factory,
+            windows=(w,),
+            invariants=invariants,
+            keep_results=keep_results,
+        )
         for w in windows
     ]
     if pairs:
         for a, b in itertools.combinations(windows, 2):
             if a.rank == b.rank:
                 continue
-            outcomes.append(
-                run_window(factory, (a, b), invariants, keep_results=keep_results)
+            jobs.append(
+                WindowJob(
+                    factory=factory,
+                    windows=(a, b),
+                    invariants=invariants,
+                    keep_results=keep_results,
+                )
             )
-    return ExplorationReport(reference_windows=windows, outcomes=outcomes)
+    if runner is None:
+        runner = make_runner(workers)
+    return ExplorationReport(
+        reference_windows=windows, outcomes=runner.run(jobs)
+    )

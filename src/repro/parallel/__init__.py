@@ -1,0 +1,57 @@
+"""``repro.parallel`` — the process-pool sweep engine.
+
+Fault-injection campaigns, the exhaustive window explorer, and the
+sweep-style benchmarks all execute many fully independent deterministic
+simulations; this package runs such batches across a process pool while
+guaranteeing that the merged results are **bit-identical to serial
+order** (jobs are deterministic; results are placed by submission index,
+never by completion order).
+
+Layers:
+
+* :mod:`~repro.parallel.runner` — :class:`SweepRunner` interface,
+  :class:`SerialRunner`, :class:`ProcessPoolRunner` (chunked scheduling,
+  per-job timeout, bounded retries for wedged workers),
+  :func:`make_runner`.
+* :mod:`~repro.parallel.jobs` — the picklable job model
+  (:class:`SimJob`, invariant specs) that lets scenario descriptions
+  cross a process boundary.
+* :mod:`~repro.parallel.scenarios` — picklable scenario/invariant specs
+  for the bundled workloads (:class:`RingScenario`,
+  :class:`StandardRingInvariants`).
+
+See ``docs/parallel.md`` for the determinism and timeout/retry contract.
+"""
+
+from .jobs import (
+    Invariant,
+    ScenarioFactory,
+    SimJob,
+    check_invariants,
+    resolve_invariants,
+)
+from .runner import (
+    ProcessPoolRunner,
+    SerialRunner,
+    SweepError,
+    SweepJob,
+    SweepRunner,
+    make_runner,
+)
+from .scenarios import RingScenario, StandardRingInvariants
+
+__all__ = [
+    "Invariant",
+    "ProcessPoolRunner",
+    "RingScenario",
+    "ScenarioFactory",
+    "SerialRunner",
+    "SimJob",
+    "StandardRingInvariants",
+    "SweepError",
+    "SweepJob",
+    "SweepRunner",
+    "check_invariants",
+    "make_runner",
+    "resolve_invariants",
+]

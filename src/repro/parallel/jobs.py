@@ -1,0 +1,89 @@
+"""The sweep job model: picklable descriptions of one simulation each.
+
+Fan-out across a process pool forces a real serialization layer: a job
+cannot be a bare closure, because closures do not pickle.  The contract
+here is:
+
+* a **scenario factory** is a picklable zero-argument callable returning
+  ``(Simulation, main)`` — a module-level function, a
+  ``functools.partial`` over one, or a dataclass instance with
+  ``__call__`` (see :mod:`repro.parallel.scenarios`).  The factory itself
+  crosses the process boundary; whatever it *returns* (closures included)
+  never does — it is built and consumed inside the worker.
+* **invariants** may be given either as a sequence of picklable callables
+  or as a single picklable *invariant factory* — a zero-argument callable
+  returning the sequence, resolved worker-side.  The factory form lets
+  closure-built batteries like
+  :func:`repro.analysis.standard_ring_invariants` ride along (wrap them
+  in :class:`repro.parallel.scenarios.StandardRingInvariants`).
+* the job's **result** must pickle too; jobs therefore reduce a
+  :class:`~repro.simmpi.runtime.SimulationResult` to a compact record
+  inside the worker instead of shipping whole traces home (pass a
+  ``reduce`` function to :class:`SimJob`, or use the campaign/explorer
+  jobs which return :class:`~repro.faults.campaign.CampaignRun` /
+  :class:`~repro.faults.explorer.ScenarioOutcome` records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, Union
+
+from ..simmpi.runtime import Simulation, SimulationResult
+
+#: Builds a fresh, un-run Simulation plus its per-rank main(s).
+#: (Must be picklable to cross a process boundary.)
+ScenarioFactory = Callable[[], "tuple[Simulation, Any]"]
+
+#: An invariant inspects a result and returns a violation message or None.
+Invariant = Callable[[SimulationResult], "str | None"]
+
+#: Invariants, given directly or via a worker-side factory.
+InvariantSpec = Union[Sequence[Invariant], Callable[[], Sequence[Invariant]]]
+
+
+def resolve_invariants(spec: Any) -> tuple[Invariant, ...]:
+    """Materialize an :data:`InvariantSpec` into a tuple of invariants.
+
+    A sequence passes through; a callable (never itself a sequence) is
+    invoked — this is what lets a picklable factory stand in for a list
+    of closures on the far side of a process boundary.
+    """
+    if spec is None:
+        return ()
+    if callable(spec):
+        return tuple(spec())
+    return tuple(spec)
+
+
+def check_invariants(
+    spec: Any, result: SimulationResult
+) -> list[str]:
+    """Apply a resolved invariant battery, collecting violation messages."""
+    return [
+        v for inv in resolve_invariants(spec) if (v := inv(result)) is not None
+    ]
+
+
+@dataclass
+class SimJob:
+    """One independent simulation: build, inject, run, reduce.
+
+    ``injectors`` are attached to the fresh simulation before the run
+    (the standard :mod:`repro.faults.injector` classes are all picklable
+    dataclasses).  ``reduce``, when given, is applied to the
+    :class:`~repro.simmpi.runtime.SimulationResult` *inside the worker*
+    so only its (small, picklable) return value crosses back.
+    """
+
+    factory: ScenarioFactory
+    injectors: tuple = ()
+    reduce: Callable[[SimulationResult], Any] | None = None
+    on_deadlock: str = "return"
+
+    def __call__(self) -> Any:
+        sim, main = self.factory()
+        for inj in self.injectors:
+            sim.add_injector(inj)
+        result = sim.run(main, on_deadlock=self.on_deadlock)
+        return self.reduce(result) if self.reduce is not None else result

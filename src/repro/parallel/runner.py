@@ -1,0 +1,284 @@
+"""Sweep runners: execute batches of independent simulation jobs.
+
+A *job* is any picklable zero-argument callable returning a picklable
+value (see :mod:`repro.parallel.jobs` for the standard job shapes).  A
+:class:`SweepRunner` executes a batch of jobs and returns their results
+**in submission order** — never in completion order — so a parallel sweep
+is a drop-in replacement for a serial loop: because every job is an
+independent deterministic simulation, the merged result list is
+bit-identical to what the serial loop would have produced.
+
+Two implementations share the interface:
+
+* :class:`SerialRunner` — runs the jobs in-process, in order.  Zero
+  overhead, no picklability requirement; the reference semantics.
+* :class:`ProcessPoolRunner` — fans the jobs out over a
+  ``concurrent.futures.ProcessPoolExecutor`` with chunked scheduling,
+  a per-job wall-clock timeout, and bounded retries for wedged or
+  crashed workers.  Jobs (and their results) must be picklable:
+  module-level functions or dataclass instances, not bare closures.
+
+Timeout/retry semantics (documented contract, tested in
+``tests/test_parallel.py``):
+
+* ``timeout`` is a per-job budget in wall-clock seconds.  A scheduling
+  round is abandoned when its jobs collectively exceed their cumulative
+  budget; the unfinished chunks are retried on a fresh pool (wedged
+  worker processes are terminated, not awaited).
+* each chunk is retried at most ``retries`` times; after that a
+  :class:`SweepError` is raised naming the job indices that never
+  completed.  A deterministic job that wedges will wedge on every
+  attempt — retries exist for infrastructure failures (a worker killed
+  by the OS, a broken pool), not to paper over simulation hangs.
+* a job that *raises* is an application error, not an infrastructure
+  failure: the exception propagates to the caller immediately and is
+  never retried (deterministic jobs would fail identically again).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+#: A sweep job: picklable, zero-argument, returns a picklable result.
+SweepJob = Callable[[], Any]
+
+_UNSET = object()
+
+
+class SweepError(RuntimeError):
+    """Jobs could not be completed after exhausting all retries.
+
+    Attributes
+    ----------
+    indices:
+        Submission-order indices of the jobs that never produced a result.
+    """
+
+    def __init__(self, message: str, indices: Sequence[int] = ()) -> None:
+        super().__init__(message)
+        self.indices = list(indices)
+
+
+class SweepRunner:
+    """Executes a batch of independent jobs, results in submission order."""
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[Any]:  # pragma: no cover
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """Convenience: run ``fn`` once per item (``fn`` must be picklable
+        for pooled runners; use a module-level function or partial)."""
+        return self.run([_BoundJob(fn, item) for item in items])
+
+
+@dataclass(frozen=True)
+class _BoundJob:
+    """Picklable ``fn(item)`` thunk used by :meth:`SweepRunner.map`."""
+
+    fn: Callable[[Any], Any]
+    item: Any
+
+    def __call__(self) -> Any:
+        return self.fn(self.item)
+
+
+class SerialRunner(SweepRunner):
+    """Run every job in-process, in submission order (reference runner)."""
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[Any]:
+        return [job() for job in jobs]
+
+
+def _run_chunk(jobs: Sequence[SweepJob]) -> list[Any]:
+    """Worker-side entry point: execute one chunk of jobs in order."""
+    return [job() for job in jobs]
+
+
+@dataclass
+class ProcessPoolRunner(SweepRunner):
+    """Fan jobs out across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``workers=1`` still uses a pool (one
+        worker) — useful for verifying that jobs survive the process
+        boundary; use :class:`SerialRunner` for a true in-process run.
+    chunk_size:
+        Jobs per pool task.  ``None`` auto-chunks to roughly four tasks
+        per worker, balancing IPC overhead against load balance.
+    timeout:
+        Per-job wall-clock budget in seconds (``None``: no timeout).
+    retries:
+        How many times a failed/timed-out chunk is re-submitted on a
+        fresh pool before :class:`SweepError` is raised.
+    mp_context:
+        ``multiprocessing`` start-method name (``"fork"``, ``"spawn"``,
+        ``"forkserver"``).  ``None`` picks ``"fork"`` where available
+        (cheap, inherits imported modules) and the platform default
+        elsewhere.
+    """
+
+    workers: int
+    chunk_size: int | None = None
+    timeout: float | None = None
+    retries: int = 1
+    mp_context: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+    # -- pool plumbing -----------------------------------------------------
+
+    def _context(self):
+        import multiprocessing as mp
+
+        if self.mp_context is not None:
+            return mp.get_context(self.mp_context)
+        if "fork" in mp.get_all_start_methods():
+            return mp.get_context("fork")
+        return mp.get_context()
+
+    @staticmethod
+    def _kill_pool(executor: ProcessPoolExecutor) -> None:
+        """Abandon a pool that may contain wedged workers.
+
+        ``shutdown(wait=True)`` would block behind the wedged job, so the
+        worker processes are terminated outright and the executor is told
+        not to wait for them.
+        """
+        processes = getattr(executor, "_processes", None) or {}
+        for proc in list(processes.values()):
+            proc.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[Any]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        chunk = self.chunk_size or max(
+            1, math.ceil(len(jobs) / (self.workers * 4))
+        )
+        #: (start_index, jobs_slice) descriptors; a chunk is the retry unit.
+        chunks = [
+            (i, jobs[i : i + chunk]) for i in range(0, len(jobs), chunk)
+        ]
+        results: list[Any] = [_UNSET] * len(jobs)
+        attempts = {start: 0 for start, _ in chunks}
+        pending = chunks
+        while pending:
+            pending = self._run_round(pending, results)
+            for start, part in pending:
+                attempts[start] += 1
+                if attempts[start] > self.retries:
+                    indices = [
+                        start + k
+                        for k in range(len(part))
+                        if results[start + k] is _UNSET
+                    ]
+                    raise SweepError(
+                        f"{len(indices)} job(s) did not complete after "
+                        f"{self.retries} retr{'y' if self.retries == 1 else 'ies'} "
+                        f"(indices {indices}); a deterministic job that "
+                        f"exceeds its timeout will do so on every attempt",
+                        indices=indices,
+                    )
+        return results
+
+    def _run_round(
+        self,
+        chunks: list[tuple[int, list[SweepJob]]],
+        results: list[Any],
+    ) -> list[tuple[int, list[SweepJob]]]:
+        """Submit *chunks* on a fresh pool; fill *results*; return the
+        chunks that must be retried (timed out or lost to a broken pool)."""
+        executor = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._context()
+        )
+        futures: dict[Future, tuple[int, list[SweepJob]]] = {}
+        try:
+            for start, part in chunks:
+                futures[executor.submit(_run_chunk, part)] = (start, part)
+            deadline_at = None
+            if self.timeout is not None:
+                total = sum(len(part) for _s, part in chunks)
+                # Cumulative budget: jobs run `workers` at a time, so the
+                # round as a whole gets ceil(total/workers) job-budgets
+                # (plus one for scheduling slack).
+                budget = self.timeout * (math.ceil(total / self.workers) + 1)
+                deadline_at = time.monotonic() + budget
+            failed: list[tuple[int, list[SweepJob]]] = []
+            broken = False
+            not_done = set(futures)
+            while not_done:
+                remaining = None
+                if deadline_at is not None:
+                    remaining = deadline_at - time.monotonic()
+                    if remaining <= 0:  # budget exhausted, jobs still running
+                        failed.extend(futures[f] for f in not_done)
+                        self._kill_pool(executor)
+                        return failed
+                done, not_done = wait(
+                    not_done, timeout=remaining, return_when=FIRST_COMPLETED
+                )
+                for fut in done:
+                    start, part = futures[fut]
+                    exc = fut.exception()
+                    if exc is None:
+                        for k, value in enumerate(fut.result()):
+                            results[start + k] = value
+                    elif isinstance(exc, BrokenProcessPool):
+                        failed.append((start, part))
+                        broken = True
+                    else:
+                        # Application error: deterministic, never retried.
+                        self._kill_pool(executor)
+                        raise exc
+                if broken:
+                    # The pool is dead; everything unfinished is lost.
+                    failed.extend(futures[f] for f in not_done)
+                    self._kill_pool(executor)
+                    return failed
+            executor.shutdown(wait=True)
+            return failed
+        except BaseException:
+            self._kill_pool(executor)
+            raise
+
+
+def make_runner(
+    workers: int | None = None,
+    *,
+    chunk_size: int | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    mp_context: str | None = None,
+) -> SweepRunner:
+    """Build the right runner for a worker count.
+
+    ``workers`` of ``None``, ``0`` or ``1`` gives the in-process
+    :class:`SerialRunner`; anything larger gives a
+    :class:`ProcessPoolRunner`.  (Construct :class:`ProcessPoolRunner`
+    directly to force a single-worker pool.)
+    """
+    if workers is None or workers <= 1:
+        return SerialRunner()
+    return ProcessPoolRunner(
+        workers=workers,
+        chunk_size=chunk_size,
+        timeout=timeout,
+        retries=retries,
+        mp_context=mp_context,
+    )

@@ -1,0 +1,82 @@
+"""Picklable scenario and invariant specs for the bundled workloads.
+
+The CLI and the benchmarks used to describe scenarios as closures; a
+process-pool sweep needs descriptions that *pickle*.  These dataclasses
+are that serialization layer: plain-data fields in, ``(Simulation,
+main)`` out, built fresh inside whichever process runs the job.
+
+Enum-valued knobs are stored as their string values so a pickled spec
+stays readable and stable across refactors of the enum classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core import (
+    RingConfig,
+    RingVariant,
+    Termination,
+    make_ring_main,
+    make_rootft_main,
+)
+from ..simmpi import Simulation
+from .jobs import Invariant
+
+
+@dataclass(frozen=True)
+class RingScenario:
+    """Picklable factory for the paper's ring in any design variant.
+
+    Calling the instance returns a fresh ``(Simulation, main)`` pair —
+    the :data:`~repro.parallel.jobs.ScenarioFactory` contract used by
+    :func:`repro.faults.run_campaign`, :func:`repro.faults.explore`, and
+    :class:`repro.parallel.SimJob`.
+    """
+
+    nprocs: int = 8
+    iters: int = 6
+    variant: str = RingVariant.FT_MARKER.value
+    termination: str = Termination.VALIDATE_ALL.value
+    rootft: bool = False
+    seed: int = 0
+    detection_latency: float = 0.0
+    work_per_iter: float = 0.0
+
+    def __call__(self) -> tuple[Simulation, Any]:
+        cfg = RingConfig(
+            max_iter=self.iters,
+            variant=RingVariant(self.variant),
+            termination=Termination(self.termination),
+            work_per_iter=self.work_per_iter,
+        )
+        main = make_rootft_main(cfg) if self.rootft else make_ring_main(cfg)
+        sim = Simulation(
+            nprocs=self.nprocs,
+            seed=self.seed,
+            detection_latency=self.detection_latency,
+        )
+        return sim, main
+
+
+@dataclass(frozen=True)
+class StandardRingInvariants:
+    """Picklable stand-in for :func:`repro.analysis.standard_ring_invariants`.
+
+    The underlying battery contains closures (which cannot pickle), so
+    this spec carries only the parameters and rebuilds the battery inside
+    the worker — the *invariant factory* form of
+    :data:`repro.parallel.jobs.InvariantSpec`.
+    """
+
+    max_iter: int
+    nprocs: int
+    allow_root_loss: bool = False
+
+    def __call__(self) -> list[Invariant]:
+        from ..analysis import standard_ring_invariants
+
+        return standard_ring_invariants(
+            self.max_iter, self.nprocs, allow_root_loss=self.allow_root_loss
+        )

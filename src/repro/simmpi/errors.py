@@ -98,6 +98,12 @@ class MPIError(Exception):
             f"peer={self.peer}, index={self.index})"
         )
 
+    def __reduce__(self) -> tuple[Any, ...]:
+        # Keyword-only attributes do not survive the default exception
+        # pickling (it replays ``cls(*args)``); results carrying MPI
+        # errors must cross the sweep engine's process boundary intact.
+        return (type(self), (self.args[0],), self.__dict__)
+
 
 class RankFailStopError(MPIError):
     """``MPI_ERR_RANK_FAIL_STOP``: a peer failed and is unrecognized."""
@@ -135,6 +141,9 @@ class JobAborted(Exception):
         self.code = code
         self.origin_rank = origin_rank
 
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (type(self), (self.code, self.origin_rank, self.args[0]))
+
 
 class SimulationDeadlock(Exception):
     """Every alive process is blocked and no event can ever wake them.
@@ -149,6 +158,9 @@ class SimulationDeadlock(Exception):
         #: ``[(rank, wait_description), ...]`` for every blocked process.
         self.blocked = blocked
 
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (type(self), (self.args[0], self.blocked))
+
 
 class SimulationError(Exception):
     """A simulated application raised an unexpected (non-MPI) exception."""
@@ -157,6 +169,9 @@ class SimulationError(Exception):
         super().__init__(f"rank {rank} raised {type(original).__name__}: {original}")
         self.rank = rank
         self.original = original
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (type(self), (self.rank, self.original))
 
 
 class ProcessKilled(BaseException):

@@ -530,7 +530,9 @@ class Runtime:
         while True:
             if self.abort_info is not None:
                 break
-            if self._ready:
+            # Ask the policy, not the raw queue: a policy may hold
+            # runnable fibers in its own ordered structure between picks.
+            if self.policy.has_ready(self._ready):  # type: ignore[arg-type]
                 proc = self.policy.pick(self._ready)  # type: ignore[arg-type]
                 fiber = proc.fiber
                 assert fiber is not None
@@ -572,7 +574,15 @@ class Runtime:
             break  # all processes done/failed and no events remain
 
     def shutdown(self) -> None:
-        """Unwind every still-parked fiber and join its thread."""
+        """Unwind every still-parked fiber and join its thread.
+
+        Runs on **every** exit path of :meth:`Simulation.run` (normal
+        completion, deadlock/abort returns, budget overruns, application
+        errors), so batch drivers — a 10k-run in-process sweep — never
+        accumulate fiber threads across simulations.  After joining, each
+        fiber's reference to the application main is dropped so a kept
+        ``Simulation`` object cannot pin per-run application state alive.
+        """
         for proc in self.procs:
             fiber = proc.fiber
             if fiber is None or fiber.finished():
@@ -582,6 +592,7 @@ class Runtime:
         for proc in self.procs:
             if proc.fiber is not None:
                 proc.fiber.join()
+                proc.fiber.release()
 
 
 @dataclass

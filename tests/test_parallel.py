@@ -1,0 +1,317 @@
+"""The process-pool sweep engine: runners, job model, and the
+serial-vs-parallel equivalence guarantee.
+
+The equivalence contract under test (docs/parallel.md): the same
+campaign or exploration sweep produces an **identical** report — same
+run order, kills, violations, summaries, formatted text — whether it
+executes serially in-process, through a one-worker pool, or through a
+multi-worker pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.faults import explore, run_campaign
+from repro.parallel import (
+    ProcessPoolRunner,
+    RingScenario,
+    SerialRunner,
+    SimJob,
+    StandardRingInvariants,
+    SweepError,
+    make_runner,
+    resolve_invariants,
+)
+
+# ---------------------------------------------------------------------------
+# Picklable fixture jobs (module level: they must cross a process boundary).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SquareJob:
+    x: int
+
+    def __call__(self) -> int:
+        return self.x * self.x
+
+
+@dataclass(frozen=True)
+class PidJob:
+    def __call__(self) -> int:
+        return os.getpid()
+
+
+@dataclass(frozen=True)
+class BoomJob:
+    def __call__(self) -> None:
+        raise ValueError("boom")
+
+
+@dataclass(frozen=True)
+class WedgeJob:
+    """Simulates a wedged worker: never finishes within any sane budget."""
+
+    def __call__(self) -> None:
+        time.sleep(600)
+
+
+@dataclass(frozen=True)
+class DieJob:
+    """Simulates a crashed worker process (breaks the pool)."""
+
+    def __call__(self) -> None:
+        os._exit(13)
+
+
+SCENARIO = RingScenario(nprocs=4, iters=3)
+INVARIANTS = StandardRingInvariants(3, 4)
+
+
+def _campaign(runner=None, workers=None, **kw):
+    return run_campaign(
+        SCENARIO,
+        seeds=range(6),
+        horizon=8e-6,
+        invariants=INVARIANTS,
+        runner=runner,
+        workers=workers,
+        **kw,
+    )
+
+
+def _explore(runner=None, workers=None):
+    return explore(
+        SCENARIO,
+        invariants=INVARIANTS,
+        ranks=[1, 2, 3],
+        runner=runner,
+        workers=workers,
+    )
+
+
+def _campaign_fields(report):
+    return [
+        (r.seed, r.kills, r.hung, r.aborted, r.violations, r.result)
+        for r in report.runs
+    ]
+
+
+def _outcome_fields(report):
+    return [
+        (o.windows, o.hung, o.aborted, o.violations, o.result)
+        for o in report.outcomes
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Runner semantics
+# ---------------------------------------------------------------------------
+
+
+class TestRunners:
+    def test_serial_runner_submission_order(self):
+        jobs = [SquareJob(x) for x in (3, 1, 2)]
+        assert SerialRunner().run(jobs) == [9, 1, 4]
+
+    def test_pool_results_in_submission_order(self):
+        jobs = [SquareJob(x) for x in range(10)]
+        got = ProcessPoolRunner(workers=2, chunk_size=2).run(jobs)
+        assert got == [x * x for x in range(10)]
+
+    def test_pool_actually_crosses_process_boundary(self):
+        pids = ProcessPoolRunner(workers=1).run([PidJob(), PidJob()])
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_empty_batch(self):
+        assert SerialRunner().run([]) == []
+        assert ProcessPoolRunner(workers=2).run([]) == []
+
+    def test_map_helper(self):
+        assert SerialRunner().map(_double, [1, 2, 3]) == [2, 4, 6]
+        assert ProcessPoolRunner(workers=2).map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_make_runner_dispatch(self):
+        assert isinstance(make_runner(None), SerialRunner)
+        assert isinstance(make_runner(1), SerialRunner)
+        pooled = make_runner(3, timeout=1.0, retries=2)
+        assert isinstance(pooled, ProcessPoolRunner)
+        assert pooled.workers == 3
+        assert pooled.timeout == 1.0
+        assert pooled.retries == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(workers=2, chunk_size=0)
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(workers=2, retries=-1)
+
+    def test_application_error_propagates_and_is_not_retried(self):
+        jobs = [SquareJob(1), BoomJob()]
+        with pytest.raises(ValueError, match="boom"):
+            ProcessPoolRunner(workers=2, chunk_size=1, retries=3).run(jobs)
+
+    def test_wedged_worker_times_out_with_sweep_error(self):
+        runner = ProcessPoolRunner(
+            workers=2, chunk_size=1, timeout=0.5, retries=0
+        )
+        with pytest.raises(SweepError) as exc_info:
+            runner.run([SquareJob(2), WedgeJob()])
+        assert exc_info.value.indices == [1]
+
+    def test_crashed_worker_is_retried_then_reported(self):
+        runner = ProcessPoolRunner(workers=1, chunk_size=1, retries=1)
+        with pytest.raises(SweepError):
+            runner.run([DieJob()])
+
+    def test_crashed_worker_does_not_poison_other_jobs(self):
+        # The good jobs lost to the broken pool are retried and complete.
+        runner = ProcessPoolRunner(workers=1, chunk_size=1, retries=1)
+        with pytest.raises(SweepError) as exc_info:
+            runner.run([SquareJob(5), DieJob(), SquareJob(7)])
+        assert exc_info.value.indices == [1]
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+# ---------------------------------------------------------------------------
+# Job model
+# ---------------------------------------------------------------------------
+
+
+class TestJobModel:
+    def test_sim_job_runs_and_reduces(self):
+        job = SimJob(factory=SCENARIO, reduce=_final_time)
+        t = job()
+        assert t > 0.0
+        # The same job crosses a process boundary intact.
+        assert ProcessPoolRunner(workers=1).run([job]) == [t]
+
+    def test_invariant_factory_resolves(self):
+        invs = resolve_invariants(INVARIANTS)
+        assert len(invs) == 6
+        assert resolve_invariants(None) == ()
+        assert resolve_invariants([_no_op_invariant]) == (_no_op_invariant,)
+
+    def test_ring_scenario_is_picklable_and_deterministic(self):
+        import pickle
+
+        spec = pickle.loads(pickle.dumps(SCENARIO))
+        sim_a, main_a = spec()
+        sim_b, main_b = SCENARIO()
+        ra = sim_a.run(main_a, on_deadlock="return")
+        rb = sim_b.run(main_b, on_deadlock="return")
+        assert ra.trace.keys() == rb.trace.keys()
+
+
+def _final_time(result) -> float:
+    return result.final_time
+
+
+def _no_op_invariant(result):
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel equivalence (the satellite's core contract)
+# ---------------------------------------------------------------------------
+
+
+class TestEquivalence:
+    def test_campaign_identical_across_runners(self):
+        serial = _campaign()
+        pooled_1 = _campaign(runner=ProcessPoolRunner(workers=1))
+        pooled_4 = _campaign(runner=ProcessPoolRunner(workers=4))
+        assert _campaign_fields(serial) == _campaign_fields(pooled_1)
+        assert _campaign_fields(serial) == _campaign_fields(pooled_4)
+        assert serial.summary() == pooled_1.summary() == pooled_4.summary()
+        assert serial.format() == pooled_1.format() == pooled_4.format()
+
+    def test_explorer_identical_across_runners(self):
+        serial = _explore()
+        pooled_1 = _explore(runner=ProcessPoolRunner(workers=1))
+        pooled_4 = _explore(runner=ProcessPoolRunner(workers=4))
+        assert serial.reference_windows == pooled_1.reference_windows
+        assert serial.reference_windows == pooled_4.reference_windows
+        assert _outcome_fields(serial) == _outcome_fields(pooled_1)
+        assert _outcome_fields(serial) == _outcome_fields(pooled_4)
+        assert serial.summary() == pooled_1.summary() == pooled_4.summary()
+        assert serial.format() == pooled_1.format() == pooled_4.format()
+
+    def test_campaign_workers_argument(self):
+        # The public `workers=` path (what the CLI uses) matches serial.
+        serial = _campaign()
+        pooled = _campaign(workers=2)
+        assert serial.format() == pooled.format()
+        assert _campaign_fields(serial) == _campaign_fields(pooled)
+
+    def test_failure_reports_survive_the_boundary(self):
+        # A naive-ring sweep produces hangs; the hang classification and
+        # messages must come back from workers identical to serial.
+        naive = RingScenario(nprocs=4, iters=3, variant="naive",
+                             termination="root_bcast")
+        invs = StandardRingInvariants(3, 4)
+        serial = explore(naive, invariants=invs, ranks=[1, 2, 3],
+                         probes=["post_recv"])
+        pooled = explore(naive, invariants=invs, ranks=[1, 2, 3],
+                         probes=["post_recv"], workers=2)
+        assert serial.summary()["hangs"] > 0
+        assert serial.format() == pooled.format()
+        assert _outcome_fields(serial) == _outcome_fields(pooled)
+
+    def test_keep_results_crosses_the_boundary(self):
+        # keep_results ships full SimulationResults (traces, deadlock
+        # exceptions) home from the workers; they must pickle faithfully.
+        naive = RingScenario(nprocs=4, iters=3, variant="naive",
+                             termination="root_bcast")
+        serial = explore(naive, ranks=[1], probes=["post_recv"],
+                         keep_results=True)
+        pooled = explore(naive, ranks=[1], probes=["post_recv"],
+                         keep_results=True, workers=2)
+        for o_s, o_p in zip(serial.outcomes, pooled.outcomes):
+            assert o_p.result is not None
+            assert o_s.result.trace.keys() == o_p.result.trace.keys()
+            if o_s.result.deadlock is not None:
+                assert o_p.result.deadlock is not None
+                assert o_p.result.deadlock.blocked == o_s.result.deadlock.blocked
+
+
+class TestCampaignCli:
+    def test_campaign_command_serial(self, capsys):
+        from repro.cli import main
+
+        rc = main(["campaign", "--nprocs", "4", "--iters", "3",
+                   "--runs", "5", "--horizon", "8e-6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "campaign: 5 runs, 5 ok" in out
+
+    def test_campaign_command_workers_match_serial(self, capsys):
+        from repro.cli import main
+
+        rc = main(["campaign", "--nprocs", "4", "--iters", "3",
+                   "--runs", "5", "--horizon", "8e-6"])
+        serial_out = capsys.readouterr().out
+        rc_w = main(["campaign", "--nprocs", "4", "--iters", "3",
+                     "--runs", "5", "--horizon", "8e-6", "--workers", "2"])
+        pooled_out = capsys.readouterr().out
+        assert rc == rc_w == 0
+        assert serial_out == pooled_out
+
+    def test_explore_command_workers(self, capsys):
+        from repro.cli import main
+
+        rc = main(["explore", "--nprocs", "4", "--iters", "3",
+                   "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "explored" in out
