@@ -33,7 +33,8 @@ def bench_fig13_nonroot_failures(benchmark):
                     KillAtProbe(rank=1 + 2 * j, probe="post_recv", hit=2)
                     for j in range(nfail)
                 ]
-                r = run_ring_scenario(cfg, n, injectors=injectors)
+                r = run_ring_scenario(cfg, n, injectors=injectors,
+                                      trace=False)
                 survivors = set(range(n)) - r.failed_ranks
                 rows.append([n, nfail, not r.hung,
                              set(r.completed_ranks) == survivors])
@@ -59,7 +60,7 @@ def bench_fig13_root_failure_with_rootft(benchmark):
                             ("pre_termination", 1)):
             cfg = RingConfig(max_iter=4)
             r = run_ring_scenario(
-                cfg, 5, rootft=True,
+                cfg, 5, rootft=True, trace=False,  # reads result fields only
                 injectors=[KillAtProbe(rank=0, probe=window, hit=hit)],
             )
             markers = []

@@ -26,7 +26,7 @@ def _hang_rate(variant: RingVariant) -> tuple[int, int]:
             cfg = RingConfig(max_iter=ITERS, variant=variant,
                              termination=Termination.ROOT_BCAST)
             r = run_ring_scenario(
-                cfg, N,
+                cfg, N, trace=False,  # classification reads result fields only
                 injectors=[KillAtProbe(rank=rank, probe="post_recv", hit=hit)],
             )
             windows += 1

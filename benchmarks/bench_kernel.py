@@ -1,0 +1,179 @@
+"""KERNEL — microbenchmarks of the simulator's hot primitives.
+
+Where the ``bench_fig*`` files measure paper scenarios end to end, these
+series isolate the four kernel mechanisms the scenarios are built from,
+so a regression can be attributed to the mechanism that caused it:
+
+* ``handoff`` — the raw fiber baton round-trip (two pre-acquired locks;
+  this is dominated by the OS thread context switch, ~10µs/handoff);
+* ``event_queue`` — schedule/pop/cancel throughput of the tuple-keyed
+  binary heap;
+* ``matching`` — posted-receive lookup, indexed ``(source, tag)`` fast
+  path vs the wildcard fallback scan;
+* ``trace_overhead`` — an identical simulation with tracing on vs off
+  (off must cost nothing per event).
+
+All four land in ``BENCH_simperf.json`` like every other series.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.simmpi import Simulation
+from repro.simmpi.clock import EventQueue
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
+from repro.simmpi.matching import MatchingEngine, Message
+from repro.simmpi.scheduler import Fiber
+from conftest import emit, timed
+
+
+def bench_kernel_handoff(benchmark):
+    """Raw baton round-trips through one fiber (no MPI, no events)."""
+    N = 2000
+    stats = {}
+
+    def run() -> None:
+        fiber: Fiber | None = None
+
+        def target() -> None:
+            for _ in range(N):
+                fiber.yield_to_scheduler()
+
+        fiber = Fiber("bench-handoff", 0, target)
+        t0 = time.perf_counter()
+        fiber.start()
+        for _ in range(N + 1):  # N yields + the final return
+            fiber.resume_and_wait()
+        stats["per_handoff_us"] = (time.perf_counter() - t0) / N * 1e6
+        fiber.join()
+        fiber.release()
+        assert fiber.finished() and fiber.error is None
+
+    timed(benchmark, run)
+    emit(
+        "kernel: fiber baton round-trip",
+        f"{N} handoffs, {stats['per_handoff_us']:.2f} us per round-trip",
+    )
+
+
+def bench_kernel_event_queue(benchmark):
+    """Heap throughput: schedule+pop, plus a cancellation-heavy mix."""
+    N = 20_000
+    stats = {}
+
+    def run() -> None:
+        q = EventQueue()
+        fn = lambda: None  # noqa: E731 - body cost is not the point
+        t0 = time.perf_counter()
+        for i in range(N):
+            q.schedule(i * 1e-9, fn)
+        while q:
+            q.pop()
+        stats["sched_pop_us"] = (time.perf_counter() - t0) / N * 1e6
+
+        events = [q.schedule(i * 1e-9, fn) for i in range(N)]
+        t0 = time.perf_counter()
+        for ev in events[::2]:
+            ev.cancel()
+        popped = 0
+        while q:  # pop() skips cancelled entries internally
+            q.pop()
+            popped += 1
+        stats["cancel_mix_us"] = (time.perf_counter() - t0) / N * 1e6
+        assert popped == N // 2
+        assert q.cancelled_total == N // 2
+
+    timed(benchmark, run)
+    emit(
+        "kernel: event queue",
+        (f"schedule+pop {stats['sched_pop_us']:.3f} us/event; "
+         f"50% cancelled mix {stats['cancel_mix_us']:.3f} us/event"),
+    )
+
+
+class _FakeRecv:
+    """Just enough of a Request for the matching engine (peer + tag)."""
+
+    __slots__ = ("peer", "tag")
+
+    def __init__(self, peer: int, tag: int) -> None:
+        self.peer = peer
+        self.tag = tag
+
+
+def _msg(src: int, tag: int, context: int = 0) -> Message:
+    return Message(src=src, dst=0, tag=tag, context=context,
+                   payload=None, nbytes=32)
+
+
+def bench_kernel_matching(benchmark):
+    """Indexed concrete (source, tag) lookup vs the wildcard fallback."""
+    N = 5_000
+    SRCS = 8
+    stats = {}
+
+    def run() -> None:
+        # Concrete receives: one dict hit per deliver / post_recv.
+        eng = MatchingEngine(rank=0)
+        t0 = time.perf_counter()
+        for i in range(N):
+            src = i % SRCS
+            eng.post_recv(_FakeRecv(src, tag=7), context=0)
+            assert eng.deliver(_msg(src, tag=7)) is not None
+        stats["concrete_us"] = (time.perf_counter() - t0) / N * 1e6
+
+        # Wildcard receives: the fallback scans candidate buckets and
+        # picks the oldest post — the worst case for the index.
+        eng = MatchingEngine(rank=0)
+        t0 = time.perf_counter()
+        for i in range(N):
+            eng.post_recv(_FakeRecv(ANY_SOURCE, ANY_TAG), context=0)
+            assert eng.deliver(_msg(i % SRCS, tag=i % 3)) is not None
+        stats["wildcard_us"] = (time.perf_counter() - t0) / N * 1e6
+
+        # Unexpected-queue wildcard probe across several buckets.
+        eng = MatchingEngine(rank=0)
+        for i in range(SRCS):
+            eng.deliver(_msg(i, tag=i))
+        t0 = time.perf_counter()
+        for _ in range(N):
+            assert eng.probe(ANY_SOURCE, ANY_TAG, context=0) is not None
+        stats["probe_us"] = (time.perf_counter() - t0) / N * 1e6
+
+    timed(benchmark, run)
+    emit(
+        "kernel: matching engine",
+        (f"concrete post+deliver {stats['concrete_us']:.3f} us; "
+         f"wildcard post+deliver {stats['wildcard_us']:.3f} us; "
+         f"wildcard probe over {SRCS} buckets {stats['probe_us']:.3f} us"),
+    )
+
+
+def bench_kernel_trace_overhead(benchmark):
+    """The same message-heavy run with tracing on vs off."""
+    stats = {}
+
+    def _ping(mpi) -> None:
+        comm = mpi.comm_world
+        other = 1 - comm.rank
+        for i in range(400):
+            if comm.rank == i % 2:
+                comm.send(i, dest=other)
+            else:
+                comm.recv(source=other)
+
+    def run() -> None:
+        for label, enabled in (("on", True), ("off", False)):
+            t0 = time.perf_counter()
+            r = Simulation(nprocs=2, trace_enabled=enabled).run(_ping)
+            stats[label] = time.perf_counter() - t0
+            assert (len(r.trace) > 0) == enabled
+
+    timed(benchmark, run)
+    ratio = stats["on"] / stats["off"] if stats["off"] else float("inf")
+    emit(
+        "kernel: trace overhead (800 sends)",
+        (f"trace on {stats['on'] * 1e3:.2f} ms, "
+         f"off {stats['off'] * 1e3:.2f} ms ({ratio:.2f}x)"),
+    )

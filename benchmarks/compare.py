@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Compare two ``BENCH_simperf.json`` files and flag regressions.
+
+Thin script wrapper over :func:`repro.perf.diff_benchmarks` for use
+without an installed package (CI, ad-hoc checks)::
+
+    python benchmarks/compare.py BASELINE.json CURRENT.json [--threshold 0.2]
+
+Prints a per-series table and exits 1 when any series regressed by more
+than the threshold (relative, on ``min_wall_s`` by default).  CI runs
+this as a *soft* step: regressions annotate the build but do not fail it
+(wall-clock noise on shared runners makes a hard gate flaky).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf import diff_benchmarks, format_diff  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline BENCH_simperf.json")
+    ap.add_argument("current", help="current BENCH_simperf.json")
+    ap.add_argument("--metric", default="min_wall_s")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="relative regression that flags a series")
+    args = ap.parse_args(argv)
+    deltas = diff_benchmarks(args.baseline, args.current, metric=args.metric)
+    text, flagged = format_diff(deltas, threshold=args.threshold)
+    print(text)
+    return 1 if flagged else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

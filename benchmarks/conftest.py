@@ -30,10 +30,14 @@ import pytest
 
 from repro.core import RingConfig, make_ring_main, make_rootft_main
 from repro.parallel import SweepRunner, make_runner
+from repro.perf import SESSION
 from repro.simmpi import Simulation, SimulationResult
 
 #: series name -> list of observed wall-clock durations (seconds).
 _PERF: dict[str, list[float]] = {}
+
+#: series name -> kernel counter delta of the series' best (last) round.
+_COUNTERS: dict[str, dict[str, Any]] = {}
 
 _PERF_PATH = Path(__file__).resolve().parent / "BENCH_simperf.json"
 
@@ -57,10 +61,17 @@ def run_ring_scenario(
     rootft: bool = False,
     detection_latency: float = 0.0,
     seed: int = 0,
+    trace: bool = True,
 ) -> SimulationResult:
-    """Build and run one ring simulation (deadlocks reported, not raised)."""
+    """Build and run one ring simulation (deadlocks reported, not raised).
+
+    ``trace=False`` uses the kernel's zero-cost disabled-trace path —
+    for benches that classify by result fields only and never read
+    ``result.trace``.
+    """
     sim = Simulation(
-        nprocs=nprocs, seed=seed, detection_latency=detection_latency
+        nprocs=nprocs, seed=seed, detection_latency=detection_latency,
+        trace_enabled=trace,
     )
     for inj in injectors:
         sim.add_injector(inj)
@@ -80,14 +91,23 @@ def timed(benchmark: Any, fn: Callable[[], Any]) -> Any:
 
     The simulations are deterministic, so a handful of rounds measures
     harness wall-time without wasting the suite's budget.  Durations are
-    also recorded for the ``BENCH_simperf.json`` perf trajectory.
+    also recorded for the ``BENCH_simperf.json`` perf trajectory, along
+    with the kernel counter deltas (handoffs, events, matches — see
+    :class:`repro.perf.PerfCounters`) observed across one round: the
+    counters explain *why* a wall time moved (e.g. the same time with
+    fewer handoffs means per-handoff cost went up).
     """
-    durations = _PERF.setdefault(_series_name(), [])
+    name = _series_name()
+    durations = _PERF.setdefault(name, [])
 
     def instrumented() -> Any:
+        before = SESSION.snapshot()
         t0 = time.perf_counter()
         out = fn()
         durations.append(time.perf_counter() - t0)
+        # Deterministic runs: every round's counters are identical, so
+        # keeping the last round's delta loses nothing.
+        _COUNTERS[name] = SESSION.delta(before)
         return out
 
     return benchmark.pedantic(instrumented, rounds=3, iterations=1,
@@ -120,6 +140,14 @@ def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
             "rounds": len(durations),
             "throughput_per_s": (1.0 / mean) if mean > 0 else None,
         }
+        counters = _COUNTERS.get(name)
+        if counters is not None:
+            # Per-series kernel counters (one round's delta); wall_s here
+            # is kernel-loop time, a subset of the harness wall time.
+            summary[name]["counters"] = {
+                k: round(v, 6) if isinstance(v, float) else v
+                for k, v in counters.items()
+            }
         updated = True
     if updated:
         _PERF_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True)

@@ -210,6 +210,47 @@ def cmd_farm(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Run one scenario and print the kernel's performance counters."""
+    sim = _common_sim(args, args.nprocs)
+    if not args.trace:
+        sim.runtime.trace.enabled = False
+    if args.scenario == "ring":
+        cfg = RingConfig(
+            max_iter=args.iters,
+            variant=RingVariant(args.variant),
+            termination=Termination(args.termination),
+        )
+        main = make_rootft_main(cfg) if args.rootft else make_ring_main(cfg)
+    elif args.scenario == "heat":
+        main = make_heat_main(HeatConfig())
+    elif args.scenario == "farm":
+        main = make_farm_mains(FarmConfig(), args.nprocs)
+    else:  # abft
+        main = make_abft_main(AbftConfig())
+    result = sim.run(main, on_deadlock="return")
+    outcome = ("HANG" if result.hung
+               else "aborted" if result.aborted is not None
+               else "ran through")
+    print(f"scenario: {args.scenario} (nprocs={args.nprocs}, "
+          f"seed={args.seed}, trace={'on' if args.trace else 'off'})")
+    print(f"outcome: {outcome}  virtual time: {result.final_time:.9f}")
+    print()
+    assert result.perf is not None
+    print(result.perf.format())
+    return 2 if result.hung else 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare two BENCH_simperf.json files and flag regressions."""
+    from .perf import diff_benchmarks, format_diff
+
+    deltas = diff_benchmarks(args.baseline, args.current, metric=args.metric)
+    text, flagged = format_diff(deltas, threshold=args.threshold)
+    print(text)
+    return 1 if flagged else 0
+
+
 def cmd_abft(args: argparse.Namespace) -> int:
     cfg = AbftConfig(iterations=args.iters)
     sim = _common_sim(args, args.nprocs)
@@ -310,6 +351,37 @@ def build_parser() -> argparse.ArgumentParser:
     common(abft, 5)
     abft.add_argument("--iters", type=int, default=5)
     abft.set_defaults(fn=cmd_abft)
+
+    perf = sub.add_parser(
+        "perf", help="run a scenario and print kernel perf counters"
+    )
+    perf.add_argument("scenario", choices=["ring", "heat", "farm", "abft"],
+                      help="which bundled scenario to run")
+    common(perf, 8)
+    perf.add_argument("--iters", type=int, default=6)
+    perf.add_argument("--variant", default="ft_marker",
+                      choices=[v.value for v in RingVariant])
+    perf.add_argument("--termination", default="validate_all",
+                      choices=[t.value for t in Termination])
+    perf.add_argument("--rootft", action="store_true")
+    perf.add_argument("--trace", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="--no-trace measures the zero-cost disabled-"
+                           "trace path")
+    perf.set_defaults(fn=cmd_perf)
+
+    bd = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_simperf.json files, flag regressions",
+    )
+    bd.add_argument("baseline", help="baseline BENCH_simperf.json")
+    bd.add_argument("current", help="current BENCH_simperf.json")
+    bd.add_argument("--metric", default="min_wall_s",
+                    help="series metric to compare (default: min_wall_s)")
+    bd.add_argument("--threshold", type=float, default=0.20,
+                    help="relative regression that flags a series "
+                         "(default: 0.20)")
+    bd.set_defaults(fn=cmd_bench_diff)
 
     return parser
 

@@ -147,18 +147,28 @@ def enumerate_windows(
 
 @dataclass
 class WindowJob:
-    """Picklable unit of exploration work: one fault-injected re-run."""
+    """Picklable unit of exploration work: one fault-injected re-run.
+
+    ``trace=False`` disables trace recording for the re-run — a large
+    win for big sweeps (the kernel's disabled-trace path records
+    nothing), but only safe when the invariants do not inspect
+    ``result.trace`` (the standard ring battery does not) and
+    ``keep_results`` is off or the caller does not need traces.
+    """
 
     factory: ScenarioFactory
     windows: tuple[Window, ...]
     invariants: InvariantSpec = ()
     keep_results: bool = False
+    trace: bool = True
 
     def __call__(self) -> ScenarioOutcome:
         sim, main = self.factory()
         sim.add_injector(
             CompositeInjector(w.injector() for w in self.windows)
         )
+        if not self.trace:
+            sim.runtime.trace.enabled = False
         result = sim.run(main, on_deadlock="return")
         violations = check_invariants(self.invariants, result)
         return ScenarioOutcome(
@@ -175,6 +185,7 @@ def run_window(
     windows: Window | Iterable[Window],
     invariants: InvariantSpec = (),
     keep_results: bool = False,
+    trace: bool = True,
 ) -> ScenarioOutcome:
     """Re-run the scenario with fail-stop injected at the given window(s)."""
     if isinstance(windows, Window):
@@ -184,6 +195,7 @@ def run_window(
         windows=tuple(windows),
         invariants=invariants,
         keep_results=keep_results,
+        trace=trace,
     )()
 
 
@@ -197,6 +209,7 @@ def explore(
     keep_results: bool = False,
     workers: int | None = None,
     runner: SweepRunner | None = None,
+    trace: bool = True,
 ) -> ExplorationReport:
     """Exhaustively inject a failure at every reachable window.
 
@@ -204,6 +217,12 @@ def explore(
     on *distinct* ranks (double-failure scenarios).  ``max_windows`` caps
     the enumeration for large scenarios (a cap is reported, never silent:
     the report's ``reference_windows`` shows what was considered).
+
+    ``trace=False`` turns off trace recording in the per-window re-runs
+    (the reference run always traces — that is where the windows come
+    from).  Classification is unchanged as long as the invariants do not
+    read ``result.trace``; for trace-free invariant batteries this makes
+    large sweeps substantially faster.
 
     The reference run executes in-process; the per-window re-runs go
     through a :class:`~repro.parallel.SweepRunner` — serial by default,
@@ -220,6 +239,7 @@ def explore(
             windows=(w,),
             invariants=invariants,
             keep_results=keep_results,
+            trace=trace,
         )
         for w in windows
     ]
@@ -233,6 +253,7 @@ def explore(
                     windows=(a, b),
                     invariants=invariants,
                     keep_results=keep_results,
+                    trace=trace,
                 )
             )
     if runner is None:

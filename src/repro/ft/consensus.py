@@ -53,7 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _ENGINE_ATTR = "_ft_consensus_engine"
 
 
-@dataclass
+@dataclass(slots=True)
 class _RoundMsg:
     """Wire format of one consensus message."""
 
@@ -66,7 +66,7 @@ class _RoundMsg:
     w: frozenset[int]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Instance:
     """Per-(rank, comm, instance) protocol state."""
 
@@ -86,6 +86,10 @@ class _Instance:
     #: unmerged payloads per round (strict in-order merging).
     payloads: dict[int, list[frozenset[int]]] = field(default_factory=dict)
     decision: frozenset[int] | None = None
+    #: Memoised wait set: ``(len(known_failed), members_minus_dead)``.
+    #: Failure knowledge only grows, so the set is stale iff the count
+    #: changed; callers must treat the cached set as read-only.
+    exp_cache: tuple[int, set[int]] | None = None
 
     @property
     def total_rounds(self) -> int:
@@ -165,8 +169,19 @@ class ConsensusEngine:
         return self.runtime.known_failed_set(owner)
 
     def _expected(self, inst: _Instance) -> set[int]:
-        dead = self._known_failed(inst.owner)
-        return {m for m in inst.members if m != inst.owner and m not in dead}
+        """Members still awaited (read-only — see ``_Instance.exp_cache``).
+
+        Recomputed only when the owner's failure knowledge has grown;
+        ``_check_round`` re-evaluates this on every delivery, so the memo
+        turns a per-message set comprehension into a length check.
+        """
+        dead = self.runtime.known_by[inst.owner]
+        cached = inst.exp_cache
+        if cached is not None and cached[0] == len(dead):
+            return cached[1]
+        exp = {m for m in inst.members if m != inst.owner and m not in dead}
+        inst.exp_cache = (len(dead), exp)
+        return exp
 
     def _enter_round(self, inst: _Instance, r: int, time: float) -> None:
         inst.round = r

@@ -179,7 +179,12 @@ class ProcessPoolRunner(SweepRunner):
         attempts = {start: 0 for start, _ in chunks}
         pending = chunks
         while pending:
-            pending = self._run_round(pending, results)
+            # Sort by start index: _run_round collects failures in future
+            # completion order (a set walk — effectively arbitrary), and
+            # both the retry submissions and the exhausted-chunk raise
+            # below must not depend on that order for attribution to be
+            # deterministic.
+            pending = sorted(self._run_round(pending, results))
             for start, part in pending:
                 attempts[start] += 1
                 if attempts[start] > self.retries:

@@ -1,0 +1,204 @@
+"""Kernel performance counters and benchmark-baseline comparison.
+
+Two related observability layers live here:
+
+* :class:`PerfCounters` — cheap per-simulation counters (fiber handoffs,
+  events executed/cancelled, messages matched/unexpected/dropped,
+  deliveries, wall seconds) incremented inline by the kernel.  Every
+  :class:`~repro.simmpi.runtime.Simulation` run folds its counters into
+  the process-wide :data:`SESSION` accumulator, which the benchmark
+  harness snapshots around each series so ``BENCH_simperf.json`` carries
+  a counters block alongside the wall times.  Later PRs (adaptive
+  scheduling, perf-regression gating) key off these numbers.
+
+* :func:`diff_benchmarks` / :func:`format_diff` — compare two
+  ``BENCH_simperf.json`` files and flag regressions beyond a threshold
+  (the ``repro bench-diff`` subcommand and ``benchmarks/compare.py``
+  both wrap this; CI runs it as a soft, non-blocking step).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "PerfCounters",
+    "SESSION",
+    "SeriesDelta",
+    "diff_benchmarks",
+    "format_diff",
+]
+
+
+class PerfCounters:
+    """Monotone counters over one simulation (or an accumulation of many).
+
+    Increments happen on the kernel's hot path, so this is deliberately a
+    bag of plain ints behind ``__slots__`` — no locks (the kernel is
+    single-threaded-at-a-time by construction), no dicts, no properties.
+    """
+
+    __slots__ = (
+        "handoffs",
+        "events_executed",
+        "events_cancelled",
+        "messages_sent",
+        "messages_matched",
+        "messages_unexpected",
+        "messages_dropped",
+        "deliveries",
+        "wall_s",
+    )
+
+    def __init__(self) -> None:
+        #: Scheduler → fiber baton handoffs (≈ simulated MPI calls).
+        self.handoffs = 0
+        #: Events popped and executed by the main loop.
+        self.events_executed = 0
+        #: Events cancelled before execution.
+        self.events_cancelled = 0
+        #: Messages injected into the network (eager + active-message).
+        self.messages_sent = 0
+        #: Deliveries that matched a posted receive immediately, plus
+        #: posted receives satisfied from the unexpected queue.
+        self.messages_matched = 0
+        #: Deliveries parked in the unexpected queue.
+        self.messages_unexpected = 0
+        #: Messages dropped because the destination had already failed.
+        self.messages_dropped = 0
+        #: Messages that reached a live destination's queues.
+        self.deliveries = 0
+        #: Host wall-clock seconds spent inside the simulation loop.
+        self.wall_s = 0.0
+
+    def add(self, other: "PerfCounters") -> None:
+        """Fold *other* into this accumulator."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view (JSON reports, assertions)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def format(self) -> str:
+        """Human-readable counter report."""
+        d = self.as_dict()
+        wall = d.pop("wall_s")
+        width = max(len(k) for k in d)
+        lines = [f"{k:<{width}}  {v}" for k, v in d.items()]
+        lines.append(f"{'wall_s':<{width}}  {wall:.6f}")
+        if wall > 0:
+            rate = self.events_executed / wall
+            lines.append(f"{'events_per_s':<{width}}  {rate:,.0f}")
+            rate = self.handoffs / wall
+            lines.append(f"{'handoffs_per_s':<{width}}  {rate:,.0f}")
+        return "\n".join(lines)
+
+    def snapshot(self) -> "PerfCounters":
+        """An independent copy (delta bookkeeping in the bench harness)."""
+        out = PerfCounters()
+        out.add(self)
+        return out
+
+    def delta(self, since: "PerfCounters") -> dict[str, Any]:
+        """``self - since`` as a dict (bench harness per-series blocks)."""
+        return {
+            name: getattr(self, name) - getattr(since, name)
+            for name in self.__slots__
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"PerfCounters({inner})"
+
+
+#: Process-wide accumulator: every finished simulation adds its counters
+#: here.  Worker processes of a pooled sweep accumulate into their *own*
+#: session (counters do not cross the pool boundary); benchmark counter
+#: blocks therefore reflect serial runs, which is the default.
+SESSION = PerfCounters()
+
+
+# ----------------------------------------------------------------------
+# Benchmark baseline comparison
+# ----------------------------------------------------------------------
+
+@dataclass
+class SeriesDelta:
+    """Relative change of one benchmark series between two files."""
+
+    name: str
+    base_min_s: float | None
+    new_min_s: float | None
+    #: (new - base) / base; ``None`` when either side is missing.
+    rel_change: float | None
+
+    @property
+    def status(self) -> str:
+        if self.rel_change is None:
+            return "added" if self.base_min_s is None else "removed"
+        return (
+            "regression" if self.rel_change > 0 else "improvement"
+            if self.rel_change < 0 else "unchanged"
+        )
+
+
+def diff_benchmarks(
+    baseline: dict[str, Any] | str | Path,
+    current: dict[str, Any] | str | Path,
+    *,
+    metric: str = "min_wall_s",
+) -> list[SeriesDelta]:
+    """Compare two ``BENCH_simperf.json`` payloads series by series."""
+    base = _load(baseline)
+    new = _load(current)
+    out: list[SeriesDelta] = []
+    for name in sorted(set(base) | set(new)):
+        b = base.get(name, {}).get(metric)
+        n = new.get(name, {}).get(metric)
+        rel = ((n - b) / b) if (b and n is not None) else None
+        out.append(SeriesDelta(name, b, n, rel))
+    return out
+
+
+def format_diff(
+    deltas: Iterable[SeriesDelta], *, threshold: float = 0.20
+) -> tuple[str, int]:
+    """Render a comparison table; returns ``(text, n_flagged)``.
+
+    A series is *flagged* when it regressed by more than *threshold*
+    (relative).  Callers decide whether flags fail the build — CI runs
+    this as a soft annotation step.
+    """
+    lines = [
+        f"{'series':<45s} {'baseline':>10s} {'current':>10s} {'change':>8s}"
+    ]
+    flagged = 0
+    for d in deltas:
+        b = f"{d.base_min_s:.4f}" if d.base_min_s is not None else "-"
+        n = f"{d.new_min_s:.4f}" if d.new_min_s is not None else "-"
+        if d.rel_change is None:
+            chg, mark = d.status, ""
+        else:
+            chg = f"{d.rel_change:+.1%}"
+            mark = ""
+            if d.rel_change > threshold:
+                mark = "  << REGRESSION"
+                flagged += 1
+            elif d.rel_change < -threshold:
+                mark = "  (faster)"
+        lines.append(f"{d.name:<45s} {b:>10s} {n:>10s} {chg:>8s}{mark}")
+    lines.append(
+        f"{flagged} series regressed more than {threshold:.0%}"
+        if flagged else f"no series regressed more than {threshold:.0%}"
+    )
+    return "\n".join(lines), flagged
+
+
+def _load(src: dict[str, Any] | str | Path) -> dict[str, Any]:
+    if isinstance(src, dict):
+        return src
+    return json.loads(Path(src).read_text())

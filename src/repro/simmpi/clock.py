@@ -5,44 +5,84 @@ failure, a timer expiring, a detector notification — is an :class:`Event`
 on a single priority queue ordered by ``(time, seq)``.  The ``seq``
 tie-breaker makes the simulation fully deterministic: two events scheduled
 for the same virtual instant always execute in scheduling order.
+
+The heap stores plain ``(time, seq, event)`` tuples rather than rich
+comparable objects: tuple comparison is a single C-level operation and
+``seq`` is unique, so ordering never falls through to the event itself.
+:class:`Event` is a ``__slots__`` handle kept only for cancellation and
+diagnostics.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback at a virtual time.
 
-    Events compare by ``(time, seq)`` only; the callback itself never
-    participates in ordering.
+    Events order by ``(time, seq)`` only; the callback itself never
+    participates in ordering.  Cancelled events stay in the heap but are
+    skipped when popped; :meth:`cancel` is idempotent and does the live
+    accounting on its owning queue exactly once.
     """
 
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    #: Diagnostic label shown in traces and deadlock reports.
-    label: str = field(compare=False, default="")
-    #: Cancelled events stay in the heap but are skipped when popped.
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[[], None],
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        #: Diagnostic label shown in traces and deadlock reports.
+        self.label = label
+        self.cancelled = cancelled
+        #: Owning queue while the event is live in it (accounting target);
+        #: ``None`` once popped or for free-standing events.
+        self._queue: "EventQueue | None" = None
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
 
     def cancel(self) -> None:
-        """Mark this event so it is skipped when it reaches the queue head."""
+        """Mark this event so it is skipped when it reaches the queue head.
+
+        Idempotent, and safe after the event was already popped: the live
+        count of the owning queue is decremented exactly once, and only
+        while the event is actually still queued.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._live -= 1
+            queue.cancelled_total += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r}, seq={self.seq}, {self.label!r}{flag})"
 
 
 class EventQueue:
     """Deterministic priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_seq", "_live", "cancelled_total")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
         self._live = 0
+        #: Total events ever cancelled (perf-counter food).
+        self.cancelled_total = 0
 
     def __len__(self) -> int:
         return self._live
@@ -54,8 +94,11 @@ class EventQueue:
         """Schedule *fn* to run at virtual *time*; returns a cancellable handle."""
         if time != time:  # NaN guard
             raise ValueError("event time must not be NaN")
-        ev = Event(time=time, seq=next(self._seq), fn=fn, label=label)
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, fn, label)
+        ev._queue = self
+        heapq.heappush(self._heap, (time, seq, ev))
         self._live += 1
         return ev
 
@@ -64,23 +107,31 @@ class EventQueue:
 
         Raises :class:`IndexError` when no live event remains.
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[2]
             if ev.cancelled:
                 continue
+            ev._queue = None
             self._live -= 1
             return ev
         raise IndexError("pop from empty EventQueue")
 
     def peek_time(self) -> float | None:
         """Return the virtual time of the next live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def note_cancelled(self) -> None:
-        """Bookkeeping hook: callers that cancel an event call this once."""
-        self._live -= 1
+        """Backward-compatible no-op.
+
+        :meth:`Event.cancel` now does its own live accounting (exactly
+        once, even if cancel is called repeatedly or after the pop), so
+        the old call-this-once-per-cancel contract — easy to violate in
+        both directions — is gone.  Kept so existing callers still run.
+        """
 
 
 class VirtualClock:
@@ -91,6 +142,8 @@ class VirtualClock:
     :class:`~repro.simmpi.process.SimProcess`) which may run ahead of the
     global clock while a process performs local computation.
     """
+
+    __slots__ = ("_now",)
 
     def __init__(self) -> None:
         self._now = 0.0

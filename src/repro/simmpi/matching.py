@@ -6,11 +6,25 @@ MPI matching semantics implemented here:
   ``ANY_TAG`` wildcards.
 * **Non-overtaking**: two messages sent on the same (source, destination,
   context) channel match posted receives in send order.  The transport
-  enforces in-order delivery per channel, and the matching engine scans
-  arrival queues front to back, so the combination preserves MPI's rule.
+  enforces in-order delivery per channel, and the matching engine selects
+  the *oldest* candidate (post order for receives, arrival order for
+  unexpected messages), so the combination preserves MPI's rule.
 * Messages arriving before a matching receive is posted park in the
   *unexpected queue*; receives posted with no matching arrival park in the
   *posted queue*.
+
+Queues are **indexed by ``(source, tag)``** within each context: the
+common non-wildcard receive resolves in one dict lookup instead of a
+front-to-back scan, and an arriving message consults at most the four
+posted buckets that could accept it (exact, source-wildcard,
+tag-wildcard, both-wildcard).  Every queued entry carries a monotone
+sequence number — post order for receives, arrival order for messages —
+and cross-bucket candidates are decided by the minimum sequence, which
+reproduces the old linear scan's earliest-first choice *exactly* (the
+scan visited entries in exactly that order).  Within one bucket all
+entries match the same criteria, so the head of its FIFO deque is always
+the only candidate; per-channel in-order delivery makes that head the
+lowest ``msg_id`` too, which is what non-overtaking requires.
 
 The engine is purely mechanical — failure semantics (erroring pending
 receives whose peer died) live in the runtime, which owns the failure
@@ -19,6 +33,7 @@ knowledge.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -28,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .request import Request
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One message envelope traveling through the simulated network."""
 
@@ -63,13 +78,21 @@ class MatchingEngine:
     """Posted-receive and unexpected-message queues for one process.
 
     Queues are keyed by context id so that traffic on different
-    communicators (and on the hidden collective contexts) never interferes.
+    communicators (and on the hidden collective contexts) never
+    interferes; within a context they are indexed by ``(source, tag)``
+    (see the module docstring for the candidate-selection rule).
     """
+
+    __slots__ = ("rank", "_unexpected", "_posted", "_useq", "_pseq")
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
-        self._unexpected: dict[int, list[Message]] = {}
-        self._posted: dict[int, list["Request"]] = {}
+        #: context -> (src, tag) -> deque[(arrival_seq, Message)]
+        self._unexpected: dict[int, dict[tuple[int, int], deque]] = {}
+        #: context -> (peer, tag) -> deque[(post_seq, Request)]
+        self._posted: dict[int, dict[tuple[int, int], deque]] = {}
+        self._useq = 0  # arrival order of unexpected messages
+        self._pseq = 0  # post order of receives
 
     # -- arrival path -----------------------------------------------------
 
@@ -80,12 +103,34 @@ class MatchingEngine:
         runtime completes it so it can stamp times and traces), or ``None``
         if the message was queued as unexpected.
         """
-        posted = self._posted.get(msg.context, [])
-        for i, req in enumerate(posted):
-            if self._recv_accepts(req, msg):
-                del posted[i]
+        buckets = self._posted.get(msg.context)
+        if buckets:
+            src, tag = msg.src, msg.tag
+            best_key = None
+            best_seq = -1
+            for key in (
+                (src, tag),
+                (src, ANY_TAG),
+                (ANY_SOURCE, tag),
+                (ANY_SOURCE, ANY_TAG),
+            ):
+                q = buckets.get(key)
+                if q:
+                    seq = q[0][0]
+                    if best_key is None or seq < best_seq:
+                        best_key, best_seq = key, seq
+            if best_key is not None:
+                q = buckets[best_key]
+                req = q.popleft()[1]
+                if not q:
+                    del buckets[best_key]
                 return req
-        self._unexpected.setdefault(msg.context, []).append(msg)
+        ubuckets = self._unexpected.setdefault(msg.context, {})
+        q = ubuckets.get((msg.src, msg.tag))
+        if q is None:
+            q = ubuckets[(msg.src, msg.tag)] = deque()
+        q.append((self._useq, msg))
+        self._useq += 1
         return None
 
     @staticmethod
@@ -98,6 +143,34 @@ class MatchingEngine:
 
     # -- post path --------------------------------------------------------
 
+    def _find_unexpected(
+        self, context: int, source: int, tag: int
+    ) -> tuple[dict, tuple[int, int]] | None:
+        """Locate the bucket holding the oldest-arrival matching message.
+
+        Returns ``(buckets, key)`` — the candidate is the head of
+        ``buckets[key]`` — or ``None`` when nothing matches.
+        """
+        buckets = self._unexpected.get(context)
+        if not buckets:
+            return None
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            key = (source, tag)
+            return (buckets, key) if buckets.get(key) else None
+        best_key = None
+        best_seq = -1
+        for key, q in buckets.items():
+            if not q:
+                continue
+            if source != ANY_SOURCE and key[0] != source:
+                continue
+            if tag != ANY_TAG and key[1] != tag:
+                continue
+            seq = q[0][0]
+            if best_key is None or seq < best_seq:
+                best_key, best_seq = key, seq
+        return (buckets, best_key) if best_key is not None else None
+
     def post_recv(self, req: "Request", context: int) -> Message | None:
         """Post a receive; return an already-arrived matching message if any.
 
@@ -105,29 +178,45 @@ class MatchingEngine:
         completes it immediately.  Otherwise the request joins the posted
         queue to await future arrivals.
         """
-        queue = self._unexpected.get(context, [])
-        for i, msg in enumerate(queue):
-            if self._recv_accepts(req, msg):
-                del queue[i]
-                return msg
-        self._posted.setdefault(context, []).append(req)
+        hit = self._find_unexpected(context, req.peer, req.tag)
+        if hit is not None:
+            buckets, key = hit
+            q = buckets[key]
+            msg = q.popleft()[1]
+            if not q:
+                del buckets[key]
+            return msg
+        pbuckets = self._posted.setdefault(context, {})
+        pkey = (req.peer, req.tag)
+        q = pbuckets.get(pkey)
+        if q is None:
+            q = pbuckets[pkey] = deque()
+        q.append((self._pseq, req))
+        self._pseq += 1
         return None
 
     def cancel_recv(self, req: "Request") -> bool:
         """Remove a posted receive; True if it was found (not yet matched)."""
-        for queue in self._posted.values():
-            if req in queue:
-                queue.remove(req)
-                return True
+        for buckets in self._posted.values():
+            for key, q in buckets.items():
+                for i, (_seq, r) in enumerate(q):
+                    if r is req:
+                        del q[i]
+                        if not q:
+                            del buckets[key]
+                        return True
         return False
 
     # -- failure sweep support ---------------------------------------------
 
     def pending_recvs(self) -> list["Request"]:
-        """All currently posted (unmatched) receive requests."""
+        """All currently posted (unmatched) receive requests, in post order
+        within each context (contexts in first-post order, as before)."""
         out: list[Request] = []
-        for queue in self._posted.values():
-            out.extend(queue)
+        for buckets in self._posted.values():
+            entries = [e for q in buckets.values() for e in q]
+            entries.sort(key=lambda e: e[0])
+            out.extend(r for _seq, r in entries)
         return out
 
     def remove_posted(self, req: "Request") -> None:
@@ -137,23 +226,33 @@ class MatchingEngine:
     def unexpected_from(self, src: int, context: int | None = None) -> list[Message]:
         """Unexpected messages from *src* (diagnostics; delivered messages
         from a failed sender remain matchable — fail-stop wire semantics)."""
-        out = []
-        for ctx, queue in self._unexpected.items():
+        out: list[Message] = []
+        for ctx, buckets in self._unexpected.items():
             if context is not None and ctx != context:
                 continue
-            out.extend(m for m in queue if m.src == src)
+            entries = [
+                e for key, q in buckets.items() if key[0] == src for e in q
+            ]
+            entries.sort(key=lambda e: e[0])
+            out.extend(m for _seq, m in entries)
         return out
 
     def probe(self, source: int, tag: int, context: int) -> Message | None:
-        """Return (without removing) the first matching unexpected message."""
-        for msg in self._unexpected.get(context, []):
-            if msg.matches(source, tag, context):
-                return msg
-        return None
+        """Return (without removing) the oldest-arrival matching unexpected
+        message."""
+        hit = self._find_unexpected(context, source, tag)
+        if hit is None:
+            return None
+        buckets, key = hit
+        return buckets[key][0][1]
 
     def stats(self) -> dict[str, int]:
         """Queue depths, for runtime diagnostics and tests."""
         return {
-            "posted": sum(len(q) for q in self._posted.values()),
-            "unexpected": sum(len(q) for q in self._unexpected.values()),
+            "posted": sum(
+                len(q) for b in self._posted.values() for q in b.values()
+            ),
+            "unexpected": sum(
+                len(q) for b in self._unexpected.values() for q in b.values()
+            ),
         }

@@ -94,16 +94,21 @@ class SimProcess:
         which is how the benchmark harness reproduces the paper's
         failure-between-recv-and-send scenarios deterministically.
         """
-        self.probe_counts[name] = self.probe_counts.get(name, 0) + 1
-        self.runtime.trace.record(self.now, TraceKind.PROBE, self.rank, name=name,
-                                  hit=self.probe_counts[name])
+        hit = self.probe_counts.get(name, 0) + 1
+        self.probe_counts[name] = hit
+        trace = self.runtime.trace
+        if trace.enabled:
+            trace.record(self.now, TraceKind.PROBE, self.rank, name=name,
+                         hit=hit)
         self.runtime.check_injection(self, probe=name)
 
     def log(self, message: str, **detail: Any) -> None:
         """Record an application message in the simulation trace."""
-        self.runtime.trace.record(
-            self.now, TraceKind.USER, self.rank, message=message, **detail
-        )
+        trace = self.runtime.trace
+        if trace.enabled:
+            trace.record(
+                self.now, TraceKind.USER, self.rank, message=message, **detail
+            )
 
     def abort(self, code: int = -1) -> NoReturn:
         """``MPI_Abort``: terminate the entire simulated job."""

@@ -23,10 +23,12 @@ typical driver loop.
 
 from __future__ import annotations
 
+import time as _time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from ..perf import SESSION, PerfCounters
 from .clock import EventQueue, VirtualClock
 from .communicator import Comm
 from .constants import ANY_SOURCE
@@ -70,6 +72,7 @@ class Runtime:
         seed: int = 0,
         detection_latency: float | Callable[[int, int], float] = 0.0,
         trace_enabled: bool = True,
+        trace_cap: int | None = None,
         max_events: int = 20_000_000,
         max_time: float = float("inf"),
     ) -> None:
@@ -82,7 +85,8 @@ class Runtime:
         self.policy.reset()
         self.clock = VirtualClock()
         self.events = EventQueue()
-        self.trace = Trace(enabled=trace_enabled)
+        self.trace = Trace(enabled=trace_enabled, cap=trace_cap)
+        self.perf = PerfCounters()
         self.max_events = max_events
         self.max_time = max_time
         self._detection_latency = detection_latency
@@ -103,7 +107,6 @@ class Runtime:
         self.abort_info: JobAborted | None = None
         self.deadlock: SimulationDeadlock | None = None
         self.injectors: list[Any] = []
-        self._events_executed = 0
         self._poll_dt = max(cost.overhead, 1e-9)
         self._msg_seq = 0
         self._req_seq = 0
@@ -361,47 +364,59 @@ class Runtime:
         msg.ssend_req = ssend_req
         if ssend_req is not None:
             self.track_peer_request(proc.rank, ssend_req)
-        self.trace.record(
-            proc.now, TraceKind.SEND_POST, proc.rank,
-            dst=dst_world, tag=tag, ctx=context, bytes=size, msg=msg.msg_id,
-        )
+        self.perf.messages_sent += 1
+        if self.trace.enabled:
+            self.trace.record(
+                proc.now, TraceKind.SEND_POST, proc.rank,
+                dst=dst_world, tag=tag, ctx=context, bytes=size, msg=msg.msg_id,
+            )
         self.events.schedule(deliver, lambda: self._deliver(msg), f"deliver:{msg.msg_id}")
 
     def _deliver(self, msg: Message) -> None:
         dst = self.procs[msg.dst]
+        perf = self.perf
         if not dst.alive():
-            self.trace.record(
-                msg.deliver_time, TraceKind.SEND_DROP, msg.src,
-                dst=msg.dst, tag=msg.tag, msg=msg.msg_id,
-            )
+            perf.messages_dropped += 1
+            if self.trace.enabled:
+                self.trace.record(
+                    msg.deliver_time, TraceKind.SEND_DROP, msg.src,
+                    dst=msg.dst, tag=msg.tag, msg=msg.msg_id,
+                )
             self._complete_ssend(msg, msg.deliver_time, dropped=True)
             return
-        self.trace.record(
-            msg.deliver_time, TraceKind.DELIVER, msg.dst,
-            src=msg.src, tag=msg.tag, ctx=msg.context, msg=msg.msg_id,
-        )
+        perf.deliveries += 1
+        if self.trace.enabled:
+            self.trace.record(
+                msg.deliver_time, TraceKind.DELIVER, msg.dst,
+                src=msg.src, tag=msg.tag, ctx=msg.context, msg=msg.msg_id,
+            )
         handler = self._am_handlers.get((msg.dst, msg.context))
         if handler is not None:
             handler(msg, msg.deliver_time)
             return
         req = dst.engine.deliver(msg)
         if req is not None:
+            perf.messages_matched += 1
             self._complete_recv(req, msg, msg.deliver_time)
-        elif dst.wants_arrival_wake:
-            dst.wants_arrival_wake = False
-            dst.wake(msg.deliver_time, "message arrival")
+        else:
+            perf.messages_unexpected += 1
+            if dst.wants_arrival_wake:
+                dst.wants_arrival_wake = False
+                dst.wake(msg.deliver_time, "message arrival")
 
     def post_recv(self, comm: Comm, req: Request, context: int | None = None) -> None:
         """Post a receive request on *comm* (or an explicit context)."""
         ctx = comm.context() if context is None else context
         req.context = ctx
         proc = req.owner
-        self.trace.record(
-            proc.now, TraceKind.RECV_POST, proc.rank,
-            src=req.peer, tag=req.tag, ctx=ctx, req=req.id,
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                proc.now, TraceKind.RECV_POST, proc.rank,
+                src=req.peer, tag=req.tag, ctx=ctx, req=req.id,
+            )
         msg = proc.engine.post_recv(req, ctx)
         if msg is not None:
+            self.perf.messages_matched += 1
             self._complete_recv(req, msg, max(proc.now, msg.deliver_time))
 
     def _complete_recv(self, req: Request, msg: Message, time: float) -> None:
@@ -411,10 +426,11 @@ class Runtime:
             cr = req.comm.comm_rank_of_world(msg.src)
             if cr is not None:
                 source = cr
-        self.trace.record(
-            t, TraceKind.RECV_COMPLETE, msg.dst,
-            src=msg.src, tag=msg.tag, req=req.id, msg=msg.msg_id,
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                t, TraceKind.RECV_COMPLETE, msg.dst,
+                src=msg.src, tag=msg.tag, req=req.id, msg=msg.msg_id,
+            )
         req.complete(
             t,
             data=msg.payload,
@@ -472,11 +488,13 @@ class Runtime:
             payload=payload, nbytes=size, msg_id=self.next_message_id(),
             send_time=t0, deliver_time=deliver,
         )
-        self.trace.record(
-            t0, TraceKind.SEND_POST, src_rank,
-            dst=dst_world, tag=0, ctx=context, bytes=size, msg=msg.msg_id,
-            am=True,
-        )
+        self.perf.messages_sent += 1
+        if self.trace.enabled:
+            self.trace.record(
+                t0, TraceKind.SEND_POST, src_rank,
+                dst=dst_world, tag=0, ctx=context, bytes=size, msg=msg.msg_id,
+                am=True,
+            )
         self.events.schedule(deliver, lambda: self._deliver(msg), f"am:{msg.msg_id}")
 
     # ------------------------------------------------------------------
@@ -527,51 +545,61 @@ class Runtime:
         proven, or a budget is exhausted."""
         for inj in self.injectors:
             inj.arm(self)
-        while True:
-            if self.abort_info is not None:
-                break
-            # Ask the policy, not the raw queue: a policy may hold
-            # runnable fibers in its own ordered structure between picks.
-            if self.policy.has_ready(self._ready):  # type: ignore[arg-type]
-                proc = self.policy.pick(self._ready)  # type: ignore[arg-type]
-                fiber = proc.fiber
-                assert fiber is not None
-                if fiber.finished():
+        perf = self.perf
+        policy = self.policy
+        ready = self._ready
+        events = self.events
+        t0 = _time.perf_counter()
+        try:
+            while True:
+                if self.abort_info is not None:
+                    break
+                # Ask the policy, not the raw queue: a policy may hold
+                # runnable fibers in its own ordered structure between picks.
+                if policy.has_ready(ready):  # type: ignore[arg-type]
+                    proc = policy.pick(ready)  # type: ignore[arg-type]
+                    fiber = proc.fiber
+                    assert fiber is not None
+                    if fiber.finished():
+                        continue
+                    perf.handoffs += 1
+                    fiber.resume_and_wait()
                     continue
-                fiber.resume_and_wait()
-                continue
-            if self.events:
-                ev = self.events.pop()
-                self._events_executed += 1
-                if self._events_executed > self.max_events:
-                    raise SimulationLimitExceeded(
-                        f"exceeded max_events={self.max_events}"
+                if events:
+                    ev = events.pop()
+                    perf.events_executed += 1
+                    if perf.events_executed > self.max_events:
+                        raise SimulationLimitExceeded(
+                            f"exceeded max_events={self.max_events}"
+                        )
+                    if ev.time > self.max_time:
+                        raise SimulationLimitExceeded(
+                            f"virtual time {ev.time} exceeded max_time={self.max_time}"
+                        )
+                    self.clock.advance_to(ev.time)
+                    ev.fn()
+                    continue
+                blocked = [
+                    p for p in self.procs
+                    if p.alive() and p.fiber is not None
+                    and p.fiber.state is FiberState.BLOCKED
+                ]
+                if blocked:
+                    desc = "; ".join(
+                        f"rank {p.rank}: {p.wait_description()}" for p in blocked
                     )
-                if ev.time > self.max_time:
-                    raise SimulationLimitExceeded(
-                        f"virtual time {ev.time} exceeded max_time={self.max_time}"
+                    self.deadlock = SimulationDeadlock(
+                        f"deadlock at t={self.clock.now:.9f}: {desc}",
+                        [(p.rank, p.wait_description()) for p in blocked],
                     )
-                self.clock.advance_to(ev.time)
-                ev.fn()
-                continue
-            blocked = [
-                p for p in self.procs
-                if p.alive() and p.fiber is not None
-                and p.fiber.state is FiberState.BLOCKED
-            ]
-            if blocked:
-                desc = "; ".join(
-                    f"rank {p.rank}: {p.wait_description()}" for p in blocked
-                )
-                self.deadlock = SimulationDeadlock(
-                    f"deadlock at t={self.clock.now:.9f}: {desc}",
-                    [(p.rank, p.wait_description()) for p in blocked],
-                )
-                for p in blocked:
-                    self.trace.record(self.clock.now, TraceKind.DEADLOCK, p.rank,
-                                      waiting=p.wait_description())
-                break
-            break  # all processes done/failed and no events remain
+                    for p in blocked:
+                        self.trace.record(self.clock.now, TraceKind.DEADLOCK,
+                                          p.rank, waiting=p.wait_description())
+                    break
+                break  # all processes done/failed and no events remain
+        finally:
+            perf.wall_s += _time.perf_counter() - t0
+            perf.events_cancelled = events.cancelled_total
 
     def shutdown(self) -> None:
         """Unwind every still-parked fiber and join its thread.
@@ -622,6 +650,9 @@ class SimulationResult:
     events_executed: int = 0
     #: Ground-truth failed ranks at the end of the run.
     failed_ranks: frozenset[int] = frozenset()
+    #: Kernel performance counters for this run (handoffs, events,
+    #: matches, wall seconds); see :class:`repro.perf.PerfCounters`.
+    perf: PerfCounters | None = None
 
     def value(self, rank: int) -> Any:
         """Return value of *rank*'s main (raises if it did not complete)."""
@@ -669,6 +700,7 @@ class Simulation:
         policy: str | SchedulingPolicy = "rr",
         detection_latency: float | Callable[[int, int], float] = 0.0,
         trace_enabled: bool = True,
+        trace_cap: int | None = None,
         max_events: int = 20_000_000,
         max_time: float = float("inf"),
     ) -> None:
@@ -679,6 +711,7 @@ class Simulation:
             seed=seed,
             detection_latency=detection_latency,
             trace_enabled=trace_enabled,
+            trace_cap=trace_cap,
             max_events=max_events,
             max_time=max_time,
         )
@@ -741,6 +774,9 @@ class Simulation:
             rt.loop()
         finally:
             rt.shutdown()
+            # Fold this run's counters into the process-wide session
+            # accumulator (the bench harness snapshots deltas around it).
+            SESSION.add(rt.perf)
         outcomes = []
         for proc in rt.procs:
             fiber = proc.fiber
@@ -770,8 +806,9 @@ class Simulation:
             trace=rt.trace,
             aborted=rt.abort_info,
             deadlock=rt.deadlock,
-            events_executed=rt._events_executed,
+            events_executed=rt.perf.events_executed,
             failed_ranks=frozenset(rt.failed),
+            perf=rt.perf,
         )
         if raise_app_errors:
             for out in outcomes:

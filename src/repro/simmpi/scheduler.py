@@ -23,12 +23,84 @@ from __future__ import annotations
 
 import enum
 import heapq
+import os
 import random
 import threading
 from collections import deque
 from typing import Callable
 
 from .errors import ProcessKilled, SimShutdown
+
+
+class _FiberWorker:
+    """One pooled OS thread that runs fiber bootstraps back to back.
+
+    Creating an OS thread costs tens of microseconds plus scheduler
+    setup; a sweep that runs thousands of short simulations pays that
+    for every rank of every run.  Workers instead park on a private
+    pre-acquired lock between assignments: :meth:`submit` hands them the
+    next fiber, and after the fiber's bootstrap returns they re-enter
+    the pool.  A worker only ever runs one fiber at a time and a fiber
+    is only submitted once, so the baton protocol is unchanged.
+    """
+
+    __slots__ = ("_task", "_task_ready", "thread")
+
+    def __init__(self) -> None:
+        self._task: "Fiber | None" = None
+        self._task_ready = threading.Lock()
+        self._task_ready.acquire()
+        self.thread = threading.Thread(
+            target=self._run, name="sim-fiber-worker", daemon=True
+        )
+        self.thread.start()
+
+    def _run(self) -> None:
+        while True:
+            self._task_ready.acquire()
+            fiber = self._task
+            self._task = None
+            if fiber is None:  # pragma: no cover - retirement path
+                return
+            fiber._bootstrap()
+            if not _POOL.offer(self):
+                return  # pool full (or forked child): let the thread die
+
+    def submit(self, fiber: "Fiber") -> None:
+        self._task = fiber
+        self._task_ready.release()
+
+
+class _WorkerPool:
+    """Process-wide free list of idle fiber workers (fork-aware)."""
+
+    def __init__(self, max_idle: int = 64) -> None:
+        self._lock = threading.Lock()
+        self._idle: list[_FiberWorker] = []
+        self._pid = os.getpid()
+        self._max_idle = max_idle
+
+    def get(self) -> _FiberWorker:
+        with self._lock:
+            if self._pid != os.getpid():
+                # Forked child: inherited workers' threads do not exist
+                # here; drop the bookkeeping and start fresh.
+                self._idle.clear()
+                self._pid = os.getpid()
+            if self._idle:
+                return self._idle.pop()
+        return _FiberWorker()
+
+    def offer(self, worker: _FiberWorker) -> bool:
+        """Return *worker* to the pool; False tells it to retire."""
+        with self._lock:
+            if self._pid == os.getpid() and len(self._idle) < self._max_idle:
+                self._idle.append(worker)
+                return True
+        return False  # pragma: no cover - overflow/fork retirement
+
+
+_POOL = _WorkerPool()
 
 
 class FiberState(enum.Enum):
@@ -43,7 +115,35 @@ class FiberState(enum.Enum):
 
 
 class Fiber:
-    """One simulated process: a thread that runs only when handed the baton."""
+    """One simulated process: a thread that runs only when handed the baton.
+
+    The baton is a ladder of two raw pre-acquired :class:`threading.Lock`
+    objects — ``_resume`` (scheduler → fiber) and ``_yielded`` (fiber →
+    scheduler).  Both start locked; a handoff is one ``release`` on the
+    peer's lock plus one blocking ``acquire`` on your own, so a full
+    round-trip costs four uncontended C-level lock operations.  The
+    previous two-``threading.Event`` baton paid set/wait/clear (each a
+    condition-variable dance) on both sides — six Python-level event
+    operations per simulated MPI call.  Correctness relies on the strict
+    alternation the scheduler already guarantees: exactly one thread runs
+    at any instant, so each lock is released exactly once per handoff and
+    re-locked by the blocking acquire that consumes the release.
+    """
+
+    __slots__ = (
+        "name",
+        "index",
+        "state",
+        "block_reason",
+        "kill_pending",
+        "shutdown_pending",
+        "error",
+        "result",
+        "_target",
+        "_resume",
+        "_yielded",
+        "_worker",
+    )
 
     def __init__(self, name: str, index: int, target: Callable[[], None]) -> None:
         self.name = name
@@ -61,11 +161,13 @@ class Fiber:
         #: Return value of the user target, if it completed normally.
         self.result: object = None
         self._target = target
-        self._resume = threading.Event()
-        self._yielded = threading.Event()
-        self._thread = threading.Thread(
-            target=self._bootstrap, name=name, daemon=True
-        )
+        # Both rungs start locked; see the class docstring for the protocol.
+        self._resume = threading.Lock()
+        self._resume.acquire()
+        self._yielded = threading.Lock()
+        self._yielded.acquire()
+        # Assigned on start(): a pooled worker thread (see _FiberWorker).
+        self._worker: _FiberWorker | None = None
 
     # -- thread side ------------------------------------------------------
 
@@ -84,11 +186,10 @@ class Fiber:
             self.error = exc
             self.state = FiberState.DONE
         finally:
-            self._yielded.set()
+            self._yielded.release()
 
     def _wait_for_baton(self) -> None:
-        self._resume.wait()
-        self._resume.clear()
+        self._resume.acquire()
         if self.kill_pending:
             raise ProcessKilled()
         if self.shutdown_pending:
@@ -101,38 +202,47 @@ class Fiber:
         :class:`ProcessKilled` / :class:`SimShutdown` if the fiber was
         killed or the simulation ended while it was blocked.
         """
-        self._yielded.set()
+        self._yielded.release()
         self._wait_for_baton()
 
     # -- scheduler side ---------------------------------------------------
 
     def start(self) -> None:
-        """Launch the underlying thread (it immediately awaits the baton)."""
+        """Hand this fiber to a pooled thread (it immediately awaits the
+        baton)."""
         self.state = FiberState.READY
-        self._thread.start()
+        self._worker = _POOL.get()
+        self._worker.submit(self)
 
     def resume_and_wait(self) -> None:
         """Hand the baton to this fiber and wait until it yields or exits."""
         self.state = FiberState.RUNNING
-        self._resume.set()
-        self._yielded.wait()
-        self._yielded.clear()
+        self._resume.release()
+        self._yielded.acquire()
 
     def finished(self) -> bool:
         return self.state in (FiberState.DONE, FiberState.FAILED)
 
     def join(self, timeout: float | None = 5.0) -> None:
-        """Join the underlying thread (used during simulator teardown)."""
-        if self._thread.is_alive():
-            self._thread.join(timeout)
+        """Wait for the fiber's bootstrap to complete (simulator teardown).
+
+        Pooled worker threads outlive the fiber, so there is no OS thread
+        to join; completion is already synchronized by the baton —
+        ``resume_and_wait`` only returns after the bootstrap's ``finally``
+        released the yield lock, at which point the worker holds no
+        reference into application code.  A started-but-unfinished fiber
+        (only possible through misuse: teardown resumes every parked
+        fiber first) is left alone, exactly like a hung thread was.
+        """
 
     def release(self) -> None:
-        """Drop the reference to the application target after the thread
-        has exited, so a retained Fiber (e.g. via a kept Simulation)
+        """Drop the reference to the application target once the fiber
+        has finished, so a retained Fiber (e.g. via a kept Simulation)
         cannot pin per-run application state alive across a long sweep.
-        Safe no-op while the thread still runs."""
-        if not self._thread.is_alive():
+        Safe no-op while the fiber still runs."""
+        if self.finished():
             self._target = _released
+            self._worker = None
 
 
 def _released() -> None:  # pragma: no cover - never executed

@@ -7,14 +7,123 @@ from typing import Any
 #: Fixed per-message envelope size added to every payload estimate.
 ENVELOPE_BYTES = 32
 
+#: Exact-type sizes for fixed-width scalars (the common ring payloads).
+#: ``type(x)`` lookups here mirror the ``isinstance`` chain of
+#: :func:`_body_nbytes` exactly for these types (bool before int, etc.).
+_FIXED_SCALAR: dict[type, int] = {
+    type(None): 0,
+    bool: 1,
+    int: 8,
+    float: 8,
+    complex: 16,
+}
+
+#: Shape key -> total wire size.  A *shape* captures exactly the parts of
+#: a payload that determine its estimated size (see :func:`_shape_token`):
+#: the ring re-measures the same ``RingMsg(value=int, marker=int)`` token
+#: on every send, and the consensus protocol re-sends the same couple of
+#: ``_RoundMsg`` shapes thousands of times per run, so after the first
+#: structural walk each repeat is one dict hit.  Sizes are always computed
+#: by :func:`_body_nbytes` on a miss, so a cache hit is byte-identical to
+#: the walk by construction.
+_SHAPE_CACHE: dict[Any, int] = {}
+_SHAPE_CACHE_MAX = 1024
+
+#: Container/scalar types that :func:`_body_nbytes` special-cases *before*
+#: its dataclass branch; a dataclass subclassing one of these must keep
+#: taking that earlier branch, so it is ineligible for the shape cache.
+_NON_CACHEABLE_BASES = (
+    bool, int, float, complex, str, bytes, bytearray, memoryview,
+    list, tuple, set, frozenset, dict,
+)
+
+_SIMPLE_CONTAINERS = (tuple, list, set, frozenset)
+
+
+def _shape_token(v: Any) -> Any:
+    """A hashable key fragment that fully determines ``_body_nbytes(v)``.
+
+    Returns ``None`` when no cheap size-determining key exists (nested
+    structures, subclasses, objects) — the caller then falls back to the
+    structural walk.  Tokens:
+
+    * fixed-width scalar -> its exact type (constant size),
+    * ``str`` -> the string itself (size is its UTF-8 length; interned
+      protocol tags like ``"round"``/``"decide"`` repeat endlessly),
+    * ``bytes``/``bytearray`` -> ``(type, len)``,
+    * flat ``tuple``/``list``/``set``/``frozenset`` whose elements are all
+      the *same* fixed-width scalar type -> ``(type, elem_type, len)``.
+    """
+    t = type(v)
+    if t in _FIXED_SCALAR:
+        return t
+    if t is str:
+        return v
+    if t is bytes or t is bytearray:
+        return (t, len(v))
+    if t in _SIMPLE_CONTAINERS:
+        et = None
+        for x in v:
+            xt = type(x)
+            if xt not in _FIXED_SCALAR:
+                return None
+            if et is None:
+                et = xt
+            elif xt is not et:
+                return None
+        return (t, et, len(v))
+    return None
+
 
 def payload_nbytes(payload: Any) -> int:
     """Deterministically estimate the wire size of a payload in bytes.
 
     The estimate feeds the cost model only — correctness never depends on
     it.  It intentionally avoids :mod:`pickle` (slow, version-dependent)
-    in favour of a simple structural walk.
+    in favour of a simple structural walk; repeated *shapes* (same
+    dataclass type, same size-determining field tokens) are memoised
+    because the ring and the consensus protocol re-measure identical
+    tokens on every send.
     """
+    t = type(payload)
+    size = _FIXED_SCALAR.get(t)
+    if size is not None:
+        return ENVELOPE_BYTES + size
+    key = None
+    fields = getattr(t, "__dataclass_fields__", None)
+    if fields is not None:
+        if not isinstance(
+            getattr(payload, "nbytes", None), int  # an nbytes attr wins the walk
+        ) and not isinstance(payload, _NON_CACHEABLE_BASES):
+            # Inline _shape_token over the fields: this runs per send on
+            # the kernel's hot path, and the common field kinds (fixed
+            # scalars, short strings) resolve in one dict/type check.
+            toks: list | None = []
+            for f in fields:
+                v = getattr(payload, f)
+                vt = type(v)
+                if vt in _FIXED_SCALAR:
+                    toks.append(vt)
+                    continue
+                tok = v if vt is str else _shape_token(v)
+                if tok is None:
+                    toks = None
+                    break
+                toks.append(tok)
+            if toks is not None:
+                key = (t, tuple(toks))
+    else:
+        # Non-dataclass payloads: flat strings/bytes/scalar containers
+        # also have cheap size-determining keys.
+        key = _shape_token(payload)
+    if key is not None:
+        size = _SHAPE_CACHE.get(key)
+        if size is None:
+            size = ENVELOPE_BYTES + _body_nbytes(payload)
+            if len(_SHAPE_CACHE) >= _SHAPE_CACHE_MAX:
+                _SHAPE_CACHE.clear()
+            _SHAPE_CACHE[key] = size
+        return size
     return ENVELOPE_BYTES + _body_nbytes(payload)
 
 
