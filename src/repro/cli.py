@@ -22,6 +22,17 @@ Subcommands
 ``heat`` / ``farm`` / ``abft``
     Run the bundled domain applications under optional failures.
 
+``fuzz``
+    Seeded schedule-space fuzzing: sample N configurations (scheduling
+    policy × timing jitter × fault schedule) from one master seed, run
+    them (``--workers`` fans out), classify with the invariant battery,
+    shrink every failure, and optionally save ``.repro.json``
+    reproducers.  The same seed always produces the same report.
+
+``replay``
+    Re-run saved ``.repro.json`` reproducers and verify each reproduces
+    its recorded violations and trace digest byte-for-byte.
+
 Examples::
 
     python -m repro ring --nprocs 8 --iters 6 --kill-probe 3:post_recv:2
@@ -29,6 +40,8 @@ Examples::
     python -m repro explore --variant ft_marker --pairs --workers 4
     python -m repro campaign --nprocs 16 --runs 200 --workers 4
     python -m repro abft --kill-probe 2:computed:3
+    python -m repro fuzz --runs 200 --seed 1 --max-kills 2 --out-dir repros
+    python -m repro replay repros/fuzz-1-0007.repro.json
 """
 
 from __future__ import annotations
@@ -251,6 +264,80 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
     return 1 if flagged else 0
 
 
+def _fuzz_scenario(args: argparse.Namespace):
+    """Build the picklable scenario spec the fuzz subcommand targets."""
+    if args.scenario == "ring":
+        return RingScenario(
+            nprocs=args.nprocs,
+            iters=args.iters,
+            variant=args.variant,
+            termination=args.termination,
+            rootft=args.rootft,
+            detection_latency=args.detection_latency,
+        )
+    from .parallel import AppScenario
+
+    return AppScenario(
+        app=args.scenario,
+        nprocs=args.nprocs,
+        size=args.size,
+        steps=args.steps,
+        detection_latency=args.detection_latency,
+    )
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .fuzz import fuzz, write_repro
+    from .parallel import make_runner
+
+    report = fuzz(
+        _fuzz_scenario(args),
+        runs=args.runs,
+        seed=args.fuzz_seed,
+        runner=make_runner(args.workers),
+        shrink_failures=not args.no_shrink,
+        max_jitter=args.max_jitter,
+        min_kills=args.min_kills,
+        max_kills=args.max_kills,
+        horizon=args.horizon,
+    )
+    print(report.format(verbose=args.verbose))
+    if args.out_dir and report.failures:
+        out = Path(args.out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        # Persist the *shrunk* config when available — that is the
+        # reproducer a human wants to stare at.
+        minimized = {
+            o.index: sr.config
+            for o, sr in zip(report.failures, report.shrunk)
+        }
+        for outcome in report.failures:
+            config = minimized.get(outcome.index, outcome.config)
+            path = out / f"fuzz-{args.fuzz_seed}-{outcome.index:04d}.repro.json"
+            write_repro(config, path)
+            print(f"wrote {path}")
+    return 1 if report.failures else 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .fuzz import replay
+
+    worst = 0
+    for path in args.files:
+        rep = replay(path)
+        print(f"== {path}")
+        print(rep.format())
+        if args.perf:
+            width = max(len(k) for k in rep.outcome.perf) if rep.outcome.perf else 0
+            for name, value in sorted(rep.outcome.perf.items()):
+                print(f"  {name:<{width}}  {value}")
+        if not rep.ok:
+            worst = 1
+    return worst
+
+
 def cmd_abft(args: argparse.Namespace) -> int:
     cfg = AbftConfig(iterations=args.iters)
     sim = _common_sim(args, args.nprocs)
@@ -369,6 +456,62 @@ def build_parser() -> argparse.ArgumentParser:
                       help="--no-trace measures the zero-cost disabled-"
                            "trace path")
     perf.set_defaults(fn=cmd_perf)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="seeded schedule-space fuzzing with shrinking reproducers",
+    )
+    # No common(): for this subcommand --seed is the *fuzz* master seed
+    # (policy seeds, jitter, and kills are all sampled; the simulator's
+    # own base seed is irrelevant once a policy seed is configured).
+    fz.add_argument("--nprocs", type=int, default=4)
+    fz.add_argument("--seed", dest="fuzz_seed", type=int, default=0,
+                    help="master seed: determines the whole corpus")
+    fz.add_argument("--detection-latency", type=float, default=0.0)
+    fz.add_argument("--scenario", default="ring",
+                    choices=["ring", "heat1d", "ring_allreduce",
+                             "abft_matvec", "manager_worker"],
+                    help="workload to fuzz (default: the paper's ring)")
+    fz.add_argument("--iters", type=int, default=3,
+                    help="ring iterations (ring scenario only)")
+    fz.add_argument("--variant", default="ft_marker",
+                    choices=[v.value for v in RingVariant])
+    fz.add_argument("--termination", default="validate_all",
+                    choices=[t.value for t in Termination])
+    fz.add_argument("--rootft", action="store_true")
+    fz.add_argument("--size", type=int, default=8,
+                    help="app size knob (cells/vector/rows/tasks)")
+    fz.add_argument("--steps", type=int, default=5,
+                    help="app steps knob (steps/rounds/iterations)")
+    fz.add_argument("--runs", type=int, default=100,
+                    help="number of sampled configurations")
+    fz.add_argument("--max-jitter", type=float, default=0.3,
+                    help="largest relative timing-jitter amplitude")
+    fz.add_argument("--min-kills", type=int, default=0)
+    fz.add_argument("--max-kills", type=int, default=2,
+                    help="fail-stops injected per run (sampled range)")
+    fz.add_argument("--horizon", type=float, default=None,
+                    help="kill-time upper bound (default: measured from "
+                         "an unperturbed run)")
+    fz.add_argument("--workers", type=int, default=None,
+                    help="fan the runs over N worker processes "
+                         "(default: serial; the report is identical)")
+    fz.add_argument("--no-shrink", action="store_true",
+                    help="skip delta-debugging of failures")
+    fz.add_argument("--out-dir", default=None, metavar="DIR",
+                    help="write a .repro.json per failure into DIR")
+    fz.add_argument("--verbose", action="store_true",
+                    help="list every outcome, not just failures")
+    fz.set_defaults(fn=cmd_fuzz)
+
+    rp = sub.add_parser(
+        "replay", help="re-run saved .repro.json reproducers and verify"
+    )
+    rp.add_argument("files", nargs="+", metavar="FILE",
+                    help=".repro.json reproducer file(s)")
+    rp.add_argument("--perf", action="store_true",
+                    help="also print the replayed run's perf counters")
+    rp.set_defaults(fn=cmd_replay)
 
     bd = sub.add_parser(
         "bench-diff",

@@ -28,6 +28,7 @@ suppressed — the data receive itself then reports the peer's death.
 
 from __future__ import annotations
 
+from .. import mutation
 from ..simmpi.constants import ANY_TAG
 from ..simmpi.errors import RankFailStopError
 from ..simmpi.p2p import waitany
@@ -159,7 +160,14 @@ def ft_recv_left(
             st.watchdog = None
             continue
         msg: RingMsg = req_n.data
-        if st.dedup and msg.marker < threshold:
+        # The "ring_no_dedup" mutation deliberately disables this marker
+        # check so the fuzzer's mutation smoke test can prove it would
+        # catch the Fig. 8 duplicate pathology if the defense regressed.
+        if (
+            st.dedup
+            and msg.marker < threshold
+            and not mutation.active("ring_no_dedup")
+        ):
             st.stats.duplicates_discarded += 1
             # Remember the freshest discarded buffer: if this process is
             # about to become the root, a just-discarded resend may be the

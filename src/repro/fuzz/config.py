@@ -1,0 +1,274 @@
+"""The fuzzer's unit of reproduction: one fully seeded perturbed run.
+
+A :class:`FuzzConfig` pins everything that can vary between runs of a
+scenario — the scenario parameters themselves (a picklable spec from
+:mod:`repro.parallel.scenarios`), the scheduling policy and its seed,
+the timing-jitter amplitudes and seed, and the fault schedule.  Because
+the simulator is deterministic, a config **is** its run: building and
+executing the same config anywhere (serially, in a pool worker, from a
+saved ``.repro.json``) produces a byte-identical trace and identical
+perf counters.
+
+The JSON form is deliberately flat and human-editable::
+
+    {
+      "format": "repro.fuzz/1",
+      "scenario": {"kind": "ring", "nprocs": 4, "iters": 3, ...},
+      "policy": "random",
+      "policy_seed": 1881201277,
+      "jitter": {"seed": 55, "overhead": 0.3, "latency": 0.1, "byte_cost": 0.0},
+      "faults": {"kills": [{"trigger": "time", "rank": 2, "time": 1.1e-05}]}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from ..faults.injector import CompositeInjector
+from ..faults.schedule import KillSpec
+from ..parallel.jobs import check_invariants
+from ..parallel.scenarios import (
+    AppScenario,
+    GenericInvariants,
+    RingScenario,
+    StandardRingInvariants,
+)
+from ..simmpi.costmodel import DEFAULT_COST, CostModel, JitteredCostModel
+from ..simmpi.runtime import Simulation, SimulationResult
+
+FORMAT = "repro.fuzz/1"
+
+#: Scenario spec registry for (de)serialization.  ``kind`` tags the
+#: class; everything else is the dataclass's own fields.
+_SCENARIO_KINDS = {"ring": RingScenario, "app": AppScenario}
+
+
+def scenario_to_dict(scenario: Any) -> dict[str, Any]:
+    """Serialize a picklable scenario spec to its tagged JSON form."""
+    for kind, cls in _SCENARIO_KINDS.items():
+        if isinstance(scenario, cls):
+            return {"kind": kind, **dataclasses.asdict(scenario)}
+    raise TypeError(
+        f"cannot serialize scenario of type {type(scenario).__name__}; "
+        f"known kinds: {sorted(_SCENARIO_KINDS)}"
+    )
+
+
+def scenario_from_dict(d: dict[str, Any]) -> Any:
+    """Rebuild a scenario spec from :func:`scenario_to_dict` output."""
+    d = dict(d)
+    kind = d.pop("kind")
+    cls = _SCENARIO_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown scenario kind {kind!r} (known: {sorted(_SCENARIO_KINDS)})"
+        )
+    return cls(**d)
+
+
+@dataclass(frozen=True)
+class JitterSpec:
+    """Seeded timing-jitter amplitudes (0 = exact LogGP costs).
+
+    ``overhead``/``latency``/``byte_cost`` are the relative amplitudes
+    fed to :class:`~repro.simmpi.costmodel.JitteredCostModel`; ``seed``
+    picks which perturbation within those bounds.
+    """
+
+    seed: int = 0
+    overhead: float = 0.0
+    latency: float = 0.0
+    byte_cost: float = 0.0
+
+    @property
+    def is_zero(self) -> bool:
+        return self.overhead == 0.0 and self.latency == 0.0 and self.byte_cost == 0.0
+
+    def zeroed(self) -> "JitterSpec":
+        """The fully unperturbed spec (shrinker target)."""
+        return JitterSpec()
+
+    def cost_model(self, base: CostModel = DEFAULT_COST) -> CostModel | None:
+        """A fresh jittered model around *base*, or ``None`` when zero
+        (the scenario's own cost model is then left untouched)."""
+        if self.is_zero:
+            return None
+        return JitteredCostModel(
+            latency=base.latency,
+            byte_cost=base.byte_cost,
+            overhead=base.overhead,
+            jitter_seed=self.seed,
+            overhead_jitter=self.overhead,
+            latency_jitter=self.latency,
+            byte_cost_jitter=self.byte_cost,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "overhead": self.overhead,
+            "latency": self.latency,
+            "byte_cost": self.byte_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "JitterSpec":
+        return cls(
+            seed=d.get("seed", 0),
+            overhead=d.get("overhead", 0.0),
+            latency=d.get("latency", 0.0),
+            byte_cost=d.get("byte_cost", 0.0),
+        )
+
+    def describe(self) -> str:
+        if self.is_zero:
+            return "none"
+        return (
+            f"seed={self.seed} o={self.overhead:g} "
+            f"L={self.latency:g} G={self.byte_cost:g}"
+        )
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One seeded perturbed-but-reproducible run of a scenario."""
+
+    scenario: Any
+    policy: str = "rr"
+    policy_seed: int = 0
+    jitter: JitterSpec = field(default_factory=JitterSpec)
+    faults: tuple[KillSpec, ...] = ()
+
+    # -- execution ------------------------------------------------------
+
+    def build(self) -> tuple[Simulation, Any]:
+        """Materialize the fully configured ``(Simulation, main)`` pair."""
+        sim, main = self.scenario()
+        sim.configure(
+            policy=self.policy,
+            policy_seed=self.policy_seed,
+            cost=self.jitter.cost_model(),
+        )
+        if self.faults:
+            sim.add_injector(
+                CompositeInjector(spec.injector() for spec in self.faults)
+            )
+        return sim, main
+
+    def run(self) -> SimulationResult:
+        """Build and execute (deadlocks are recorded, not raised)."""
+        sim, main = self.build()
+        return sim.run(main, on_deadlock="return")
+
+    # -- shrinking helpers ---------------------------------------------
+
+    def without_fault(self, index: int) -> "FuzzConfig":
+        faults = self.faults[:index] + self.faults[index + 1 :]
+        return replace(self, faults=faults)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT,
+            "scenario": scenario_to_dict(self.scenario),
+            "policy": self.policy,
+            "policy_seed": self.policy_seed,
+            "jitter": self.jitter.to_dict(),
+            "faults": {"kills": [spec.to_dict() for spec in self.faults]},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FuzzConfig":
+        fmt = d.get("format", FORMAT)
+        if fmt != FORMAT:
+            raise ValueError(f"unsupported repro format {fmt!r} (want {FORMAT!r})")
+        return cls(
+            scenario=scenario_from_dict(d["scenario"]),
+            policy=d.get("policy", "rr"),
+            policy_seed=d.get("policy_seed", 0),
+            jitter=JitterSpec.from_dict(d.get("jitter", {})),
+            faults=tuple(
+                KillSpec.from_dict(k) for k in d.get("faults", {}).get("kills", [])
+            ),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FuzzConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def describe(self) -> str:
+        """One-line human summary (stable: used in fuzz reports)."""
+        kills = ", ".join(_kill_str(spec) for spec in self.faults) or "none"
+        policy = self.policy
+        if policy == "random":
+            policy = f"random/{self.policy_seed}"
+        return f"policy={policy} jitter=({self.jitter.describe()}) kills=[{kills}]"
+
+
+def _kill_str(spec: KillSpec) -> str:
+    if spec.trigger == "time":
+        return f"r{spec.rank}@t={spec.time:g}"
+    if spec.trigger == "probe":
+        return f"r{spec.rank}@{spec.probe}#{spec.hit}"
+    op = f":{spec.op}" if spec.op else ""
+    return f"r{spec.rank}@call{spec.call_no}{op}"
+
+
+# ----------------------------------------------------------------------
+# Default classification and kill eligibility per scenario kind
+# ----------------------------------------------------------------------
+
+
+def default_invariants(scenario: Any) -> Any:
+    """The picklable invariant battery a scenario is judged against.
+
+    Ring scenarios get the full standard battery (progress, ordering,
+    no-duplicates, value bounds); app scenarios get the workload-agnostic
+    liveness battery.  Matches what ``repro replay`` re-derives, so a
+    saved failure is judged by the same rules that flagged it.
+    """
+    if isinstance(scenario, RingScenario):
+        return StandardRingInvariants(
+            scenario.iters, scenario.nprocs, allow_root_loss=scenario.rootft
+        )
+    return GenericInvariants()
+
+
+def default_eligible_ranks(scenario: Any) -> tuple[int, ...]:
+    """Which ranks the sampler may kill.
+
+    Rank 0 is spared unless the scenario is explicitly root-failure
+    tolerant: the paper's baseline assumption (§III) is that the root
+    survives, and the manager/heat/ABFT apps treat rank 0 as the
+    coordinator in the same way.
+    """
+    if isinstance(scenario, RingScenario) and scenario.rootft:
+        return tuple(range(scenario.nprocs))
+    return tuple(range(1, scenario.nprocs))
+
+
+def violations_of(
+    config: FuzzConfig,
+    invariants: Any = None,
+    *,
+    result: SimulationResult | None = None,
+) -> list[str]:
+    """Run *config* (or classify an already-run *result*) and collect
+    invariant violations (``invariants=None`` derives the default
+    battery from the scenario)."""
+    if result is None:
+        result = config.run()
+    if invariants is None:
+        invariants = default_invariants(config.scenario)
+    return check_invariants(invariants, result)

@@ -1,0 +1,441 @@
+"""The fuzz driver: sample seeded configs, fan out, classify, shrink.
+
+One master seed determines the whole campaign.  :func:`sample_configs`
+draws every knob of every :class:`~repro.fuzz.config.FuzzConfig` from a
+single ``random.Random(seed)`` stream, so ``repro fuzz --seed S --runs
+N`` names an exact, re-derivable corpus — running it twice (or fanning
+it across a process pool) produces byte-identical reports.
+
+Each sampled config becomes one picklable :class:`FuzzJob` executed by a
+:class:`~repro.parallel.runner.SweepRunner`; the worker reduces the full
+:class:`~repro.simmpi.runtime.SimulationResult` to a compact
+:class:`FuzzOutcome` (violations, trace digest, perf counters) before it
+crosses back.  Failures are shrunk in the parent — shrinking is a
+sequential search, and failures are rare — and can be persisted as
+``.repro.json`` files that :func:`replay` re-executes and checks against
+the recorded digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..faults.schedule import KillSpec
+from ..parallel.jobs import check_invariants
+from ..parallel.runner import SerialRunner, SweepRunner
+from ..simmpi.runtime import SimulationResult
+from .config import (
+    FORMAT,
+    FuzzConfig,
+    JitterSpec,
+    default_eligible_ranks,
+    default_invariants,
+)
+from .shrink import ShrinkResult, shrink
+
+# ----------------------------------------------------------------------
+# Deterministic result fingerprinting
+# ----------------------------------------------------------------------
+
+
+def perf_dict(result: SimulationResult) -> dict[str, Any]:
+    """The run's perf counters minus ``wall_s`` (host time — the one
+    counter that is *not* deterministic and must never enter a digest
+    or a report that is compared across runs)."""
+    if result.perf is None:
+        return {}
+    d = result.perf.as_dict()
+    d.pop("wall_s", None)
+    return d
+
+
+def result_digest(result: SimulationResult) -> str:
+    """Stable fingerprint of everything deterministic about a run.
+
+    Covers the final virtual time, the full semantic trace (event keys,
+    in order), each rank's terminal state, and the perf counters (minus
+    ``wall_s``).  Two runs of the same config — serial, pooled, or
+    replayed from disk — must produce the same digest; that equality is
+    what ``repro replay`` asserts.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(struct.pack("<d", result.final_time))
+    for key in result.trace.keys():
+        h.update(repr(key).encode())
+        h.update(b"\x00")
+    for out in result.outcomes:
+        h.update(f"{out.rank}:{out.state}".encode())
+        h.update(b"\x00")
+    for name, value in sorted(perf_dict(result).items()):
+        h.update(f"{name}={value}".encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Outcomes and jobs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """Compact, picklable record of one fuzzed run."""
+
+    index: int
+    config: FuzzConfig
+    violations: tuple[str, ...]
+    hung: bool
+    aborted: bool
+    digest: str
+    final_time: float
+    perf: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+    def describe(self) -> str:
+        status = "FAIL" if self.failed else "ok"
+        line = f"[{self.index:4d}] {status}  {self.config.describe()}"
+        if self.failed:
+            line += "\n" + "\n".join(f"        - {v}" for v in self.violations)
+        return line
+
+
+def classify(
+    config: FuzzConfig,
+    result: SimulationResult,
+    invariants: Any = None,
+    *,
+    index: int = 0,
+) -> FuzzOutcome:
+    """Reduce a finished run to its :class:`FuzzOutcome`.
+
+    ``invariants=None`` derives the scenario's default battery (the same
+    rule :func:`replay` applies, so classifications agree everywhere).
+    """
+    if invariants is None:
+        invariants = default_invariants(config.scenario)
+    return FuzzOutcome(
+        index=index,
+        config=config,
+        violations=tuple(check_invariants(invariants, result)),
+        hung=result.hung,
+        aborted=result.aborted is not None,
+        digest=result_digest(result),
+        final_time=result.final_time,
+        perf=perf_dict(result),
+    )
+
+
+@dataclass(frozen=True)
+class FuzzJob:
+    """Picklable unit of fuzz work: run one config, return its outcome.
+
+    ``invariants`` must itself be picklable (a spec dataclass such as
+    :class:`~repro.parallel.scenarios.StandardRingInvariants`, not a list
+    of closures); ``None`` resolves the scenario's default battery inside
+    the worker.
+    """
+
+    config: FuzzConfig
+    index: int = 0
+    invariants: Any = None
+
+    def __call__(self) -> FuzzOutcome:
+        result = self.config.run()
+        return classify(
+            self.config, result, self.invariants, index=self.index
+        )
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+
+#: Policy draw distribution: mostly random schedules (that is where the
+#: fuzzing power is), with deterministic policies mixed in so policy-
+#: independent bugs shrink to seed-free reproducers quickly.
+_POLICY_CHOICES = ("random", "random", "random", "rr", "lowest")
+
+#: Per-component jitter amplitudes are drawn from {0, max/3, max} rather
+#: than a continuum: coarse levels shrink cleanly and still perturb every
+#: relative event ordering the continuum would.
+_JITTER_LEVELS = (0.0, 1.0 / 3.0, 1.0)
+
+
+def sample_configs(
+    scenario: Any,
+    runs: int,
+    seed: int,
+    *,
+    max_jitter: float = 0.3,
+    min_kills: int = 0,
+    max_kills: int = 2,
+    horizon: float | None = None,
+    max_call: int = 40,
+    eligible: Sequence[int] | None = None,
+) -> list[FuzzConfig]:
+    """Draw *runs* fully seeded configurations for *scenario*.
+
+    Every knob comes from one sequential ``random.Random(seed)`` stream,
+    so ``(scenario, runs, seed, options)`` names the corpus exactly.
+    ``horizon`` bounds time-triggered kill instants; ``None`` measures it
+    by running the unperturbed scenario once (deterministic, so still
+    reproducible).  ``eligible`` restricts which ranks may be killed;
+    ``None`` applies the paper's root-survives default
+    (:func:`~repro.fuzz.config.default_eligible_ranks`).
+    """
+    if runs < 0:
+        raise ValueError("runs must be >= 0")
+    if not 0 <= min_kills <= max_kills:
+        raise ValueError("need 0 <= min_kills <= max_kills")
+    if horizon is None:
+        horizon = FuzzConfig(scenario).run().final_time
+    if eligible is None:
+        eligible = default_eligible_ranks(scenario)
+    eligible = tuple(eligible)
+    rng = random.Random(seed)
+    configs: list[FuzzConfig] = []
+    for _ in range(runs):
+        policy = rng.choice(_POLICY_CHOICES)
+        policy_seed = rng.randrange(2**32) if policy == "random" else 0
+        jitter = JitterSpec(
+            seed=rng.randrange(2**32),
+            overhead=max_jitter * rng.choice(_JITTER_LEVELS),
+            latency=max_jitter * rng.choice(_JITTER_LEVELS),
+            byte_cost=max_jitter * rng.choice(_JITTER_LEVELS),
+        )
+        if jitter.is_zero:
+            jitter = jitter.zeroed()  # drop the now-meaningless seed
+        nkills = min(rng.randint(min_kills, max_kills), len(eligible))
+        kills = []
+        for rank in rng.sample(eligible, nkills):
+            if rng.random() < 0.5:
+                kills.append(
+                    KillSpec(
+                        trigger="time",
+                        rank=rank,
+                        time=rng.uniform(0.0, horizon),
+                    )
+                )
+            else:
+                kills.append(
+                    KillSpec(
+                        trigger="call",
+                        rank=rank,
+                        call_no=rng.randint(1, max_call),
+                    )
+                )
+        configs.append(
+            FuzzConfig(
+                scenario=scenario,
+                policy=policy,
+                policy_seed=policy_seed,
+                jitter=jitter,
+                faults=tuple(kills),
+            )
+        )
+    return configs
+
+
+# ----------------------------------------------------------------------
+# The campaign driver
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """Everything a fuzz campaign produced, in submission order.
+
+    ``format()`` and ``summary()`` are deliberately free of wall-clock
+    data: two runs of the same campaign render identical reports, which
+    the determinism tests (and the CI smoke job) diff byte-for-byte.
+    """
+
+    scenario: Any
+    seed: int
+    outcomes: list[FuzzOutcome]
+    #: One shrink result per failing outcome, aligned with :attr:`failures`.
+    shrunk: list[ShrinkResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[FuzzOutcome]:
+        return [o for o in self.outcomes if o.failed]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "runs": len(self.outcomes),
+            "failures": len(self.failures),
+            "hangs": sum(o.hung for o in self.outcomes),
+            "aborts": sum(o.aborted for o in self.outcomes),
+        }
+
+    def format(self, *, verbose: bool = False) -> str:
+        s = self.summary()
+        lines = [
+            f"fuzz seed={s['seed']}: {s['runs']} run(s), "
+            f"{s['failures']} failure(s), {s['hangs']} hang(s), "
+            f"{s['aborts']} abort(s)"
+        ]
+        shown = self.outcomes if verbose else self.failures
+        lines.extend(o.describe() for o in shown)
+        for outcome, sr in zip(self.failures, self.shrunk):
+            lines.append(
+                f"  shrunk [{outcome.index:4d}] -> {sr.describe()}"
+            )
+        return "\n".join(lines)
+
+
+def fuzz(
+    scenario: Any,
+    runs: int = 100,
+    seed: int = 0,
+    *,
+    runner: SweepRunner | None = None,
+    invariants: Any = None,
+    shrink_failures: bool = True,
+    max_shrink_attempts: int = 300,
+    **sample_options: Any,
+) -> FuzzReport:
+    """Run one seeded fuzz campaign end to end.
+
+    Samples the corpus, fans it out through *runner* (default: in-process
+    :class:`~repro.parallel.runner.SerialRunner`; any pooled runner gives
+    the identical report, just faster), and shrinks every failure in the
+    parent.  Extra keyword options are forwarded to
+    :func:`sample_configs`.
+    """
+    configs = sample_configs(scenario, runs, seed, **sample_options)
+    jobs = [
+        FuzzJob(config=c, index=i, invariants=invariants)
+        for i, c in enumerate(configs)
+    ]
+    runner = runner or SerialRunner()
+    outcomes: list[FuzzOutcome] = runner.run(jobs)
+    report = FuzzReport(scenario=scenario, seed=seed, outcomes=outcomes)
+    if shrink_failures:
+        report.shrunk = [
+            shrink(o.config, invariants, max_attempts=max_shrink_attempts)
+            for o in report.failures
+        ]
+    return report
+
+
+# ----------------------------------------------------------------------
+# Reproducer files and replay
+# ----------------------------------------------------------------------
+
+
+def write_repro(
+    config: FuzzConfig,
+    path: str | Path,
+    *,
+    invariants: Any = None,
+) -> Path:
+    """Persist *config* as a ``.repro.json`` with its expected outcome.
+
+    The config is **re-run here** to record what it currently produces
+    (violations, digest, perf, final time) — essential after shrinking,
+    whose minimized config has a different digest than the originally
+    sampled failure.
+    """
+    result = config.run()
+    outcome = classify(config, result, invariants)
+    doc = config.to_dict()
+    doc["expect"] = {
+        "violations": list(outcome.violations),
+        "digest": outcome.digest,
+        "final_time": outcome.final_time,
+        "perf": outcome.perf,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def load_repro(path: str | Path) -> tuple[FuzzConfig, dict[str, Any]]:
+    """Read a ``.repro.json``: the config plus its ``expect`` block
+    (empty dict when the file records no expectation)."""
+    doc = json.loads(Path(path).read_text())
+    fmt = doc.get("format", FORMAT)
+    if fmt != FORMAT:
+        raise ValueError(f"unsupported repro format {fmt!r} (want {FORMAT!r})")
+    return FuzzConfig.from_dict(doc), doc.get("expect", {})
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """A replayed run compared against its recorded expectation."""
+
+    outcome: FuzzOutcome
+    expect: dict[str, Any]
+    #: Human-readable discrepancies; empty means byte-identical replay.
+    mismatches: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def format(self) -> str:
+        lines = [self.outcome.describe()]
+        if self.ok:
+            lines.append(
+                "replay matches recorded expectation"
+                if self.expect
+                else "no recorded expectation; run accepted as-is"
+            )
+        else:
+            lines.append("REPLAY MISMATCH:")
+            lines.extend(f"  - {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def replay(
+    source: str | Path | FuzzConfig,
+    *,
+    invariants: Any = None,
+) -> ReplayResult:
+    """Re-run a saved reproducer and verify it reproduces exactly.
+
+    Checks, field by field, that the fresh run matches the recorded
+    ``expect`` block: same invariant violations, same trace digest, same
+    perf counters, same final virtual time.  Any difference means the
+    simulator (or the protocol under test) changed behaviour since the
+    file was written — precisely what a reproducer exists to detect.
+    """
+    if isinstance(source, FuzzConfig):
+        config, expect = source, {}
+    else:
+        config, expect = load_repro(source)
+    result = config.run()
+    outcome = classify(config, result, invariants)
+    mismatches: list[str] = []
+    if "violations" in expect:
+        want = list(expect["violations"])
+        got = list(outcome.violations)
+        if want != got:
+            mismatches.append(f"violations: expected {want!r}, got {got!r}")
+    if "digest" in expect and expect["digest"] != outcome.digest:
+        mismatches.append(
+            f"trace digest: expected {expect['digest']}, got {outcome.digest}"
+        )
+    if "final_time" in expect and expect["final_time"] != outcome.final_time:
+        mismatches.append(
+            f"final_time: expected {expect['final_time']!r}, "
+            f"got {outcome.final_time!r}"
+        )
+    if "perf" in expect and dict(expect["perf"]) != outcome.perf:
+        mismatches.append(
+            f"perf counters: expected {expect['perf']!r}, got {outcome.perf!r}"
+        )
+    return ReplayResult(
+        outcome=outcome, expect=expect, mismatches=tuple(mismatches)
+    )

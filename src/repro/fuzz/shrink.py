@@ -1,0 +1,177 @@
+"""Delta-debugging shrinker: minimize a failing fuzz configuration.
+
+A fuzzer-found failure typically carries more perturbation than the bug
+needs — extra kills, jitter on every cost component, a large opaque
+policy seed.  The shrinker strips it down to the smallest configuration
+that still violates an invariant, in a fixed order of simplification
+power:
+
+1. **drop faults** — remove kills one at a time (greedy ddmin over the
+   schedule; each removal re-tested, kept only if the failure survives);
+2. **zero jitter fields** — first all amplitudes at once, then each
+   component individually;
+3. **simplify the policy** — try the deterministic round-robin policy
+   (seed-free) in place of a seeded random schedule;
+4. **bisect seeds** — drive the policy seed and jitter seed toward 0 by
+   repeated halving, accepting any candidate that still fails.
+
+Every candidate is one deterministic simulation, so shrinking is itself
+fully reproducible; the result records how many candidate runs it took.
+By default a candidate "still fails" when it produces *any* invariant
+violation — classic ddmin semantics; pass ``same_violation=True`` to
+require the first violation message to match the original's, when
+distinct pathologies must not be conflated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from .config import FuzzConfig, violations_of
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of minimizing one failing configuration."""
+
+    config: FuzzConfig
+    violations: list[str]
+    #: Candidate simulations executed during the shrink.
+    attempts: int
+    #: Whether any simplification was accepted.
+    reduced: bool
+
+    def describe(self) -> str:
+        return (
+            f"{self.config.describe()} "
+            f"({self.attempts} candidate run(s), "
+            f"{'reduced' if self.reduced else 'already minimal'})"
+        )
+
+
+def _same_kind(a: list[str], b: list[str]) -> bool:
+    """Crude violation identity: same leading word of the first message
+    (e.g. ``marker``, ``hang``, ``ring``) — enough to separate the
+    hang/duplicate/progress families without overfitting to messages."""
+    if not a or not b:
+        return bool(a) == bool(b)
+    return a[0].split(" ", 1)[0] == b[0].split(" ", 1)[0]
+
+
+def shrink(
+    config: FuzzConfig,
+    invariants: Any = None,
+    *,
+    same_violation: bool = False,
+    max_attempts: int = 500,
+) -> ShrinkResult:
+    """Minimize *config* while it keeps violating the invariants.
+
+    Raises :class:`ValueError` when *config* does not fail at all —
+    shrinking a passing configuration is always a caller bug.
+    ``max_attempts`` bounds the candidate simulations (the returned
+    config is whatever the search had reached; still failing by
+    construction).
+    """
+    original = violations_of(config, invariants)
+    if not original:
+        raise ValueError("config does not violate any invariant; nothing to shrink")
+
+    attempts = 0
+    current = config
+    current_violations = original
+
+    def fails(candidate: FuzzConfig) -> list[str] | None:
+        """The candidate's violations, or None when it passes/diverges."""
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return None
+        attempts += 1
+        v = violations_of(candidate, invariants)
+        if not v:
+            return None
+        if same_violation and not _same_kind(original, v):
+            return None
+        return v
+
+    def accept(candidate: FuzzConfig) -> bool:
+        nonlocal current, current_violations
+        v = fails(candidate)
+        if v is None:
+            return False
+        current, current_violations = candidate, v
+        return True
+
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+
+        # 1. Drop kills, last-to-first so indices stay valid as we go.
+        for i in reversed(range(len(current.faults))):
+            if accept(current.without_fault(i)):
+                changed = True
+
+        # 2. Zero the jitter: all fields at once, else one at a time.
+        if not current.jitter.is_zero:
+            if accept(replace(current, jitter=current.jitter.zeroed())):
+                changed = True
+            else:
+                for fld in ("overhead", "latency", "byte_cost"):
+                    if getattr(current.jitter, fld) == 0.0:
+                        continue
+                    trimmed = replace(current.jitter, **{fld: 0.0})
+                    if accept(replace(current, jitter=trimmed)):
+                        changed = True
+
+        # 3. Deterministic policy beats any seeded schedule.
+        if current.policy != "rr":
+            if accept(replace(current, policy="rr", policy_seed=0)):
+                changed = True
+
+        # 4. Bisect remaining seeds toward 0.
+        if _bisect(current, lambda c: c.policy_seed,
+                   lambda c, s: replace(c, policy_seed=s), accept):
+            changed = True
+        if not current.jitter.is_zero and _bisect(
+            current,
+            lambda c: c.jitter.seed,
+            lambda c, s: replace(c, jitter=replace(c.jitter, seed=s)),
+            accept,
+        ):
+            changed = True
+
+    return ShrinkResult(
+        config=current,
+        violations=current_violations,
+        attempts=attempts,
+        reduced=current != config,
+    )
+
+
+def _bisect(
+    start: FuzzConfig,
+    get: Callable[[FuzzConfig], int],
+    put: Callable[[FuzzConfig, int], FuzzConfig],
+    accept: Callable[[FuzzConfig], bool],
+) -> bool:
+    """Halve an integer field toward 0 while the failure survives.
+
+    Tries 0 first (the common case: the seed is irrelevant once the
+    faults alone trigger the bug), then repeated halving.  ``accept``
+    mutates the caller's current config, so ``get`` re-reads it each
+    round.  Returns True if any step was accepted.
+    """
+    any_accepted = False
+    cur = start
+    if get(cur) > 0 and accept(put(cur, 0)):
+        return True
+    while True:
+        value = get(cur)
+        if value <= 0:
+            return any_accepted
+        candidate = put(cur, value // 2)
+        if not accept(candidate):
+            return any_accepted
+        cur = candidate
+        any_accepted = True

@@ -1,0 +1,75 @@
+"""Test-only mutation switches: deliberately break a protocol defense.
+
+Mutation testing asks "would the test harness notice if this defense
+were gone?"  A *mutation* is a named switch that disables one specific
+protocol mechanism; the fuzzer (:mod:`repro.fuzz`) is then pointed at
+the weakened build and must find — and shrink — a reproducer for the
+resulting violation.  The smoke test in ``tests/test_mutation.py`` does
+exactly this for the ring's duplicate-iteration marker check.
+
+Switches are read at protocol decision points through :func:`active`.
+They default to off and are only ever turned on by tests, either through
+:func:`activate`/:func:`deactivate` (or the :func:`enabled` context
+manager) in-process, or through the ``REPRO_MUTATIONS`` environment
+variable (comma-separated names) for spawned worker processes.  Nothing
+in the production code path sets them.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Mutations this build knows about (guards against typos in tests).
+KNOWN = frozenset({
+    # Disable the ring's Fig. 10 iteration-marker duplicate check:
+    # resent messages are accepted even when already processed.
+    "ring_no_dedup",
+})
+
+_ACTIVE: set[str] = set()
+
+
+def _check(name: str) -> str:
+    if name not in KNOWN:
+        raise ValueError(f"unknown mutation {name!r} (known: {sorted(KNOWN)})")
+    return name
+
+
+def active(name: str) -> bool:
+    """Is the named mutation currently switched on?"""
+    return name in _ACTIVE
+
+
+def activate(name: str) -> None:
+    """Switch a mutation on (test-only)."""
+    _ACTIVE.add(_check(name))
+
+
+def deactivate(name: str) -> None:
+    """Switch a mutation off."""
+    _ACTIVE.discard(_check(name))
+
+
+@contextmanager
+def enabled(name: str) -> Iterator[None]:
+    """Scoped activation: guarantees the switch is restored on exit."""
+    was = active(_check(name))
+    _ACTIVE.add(name)
+    try:
+        yield
+    finally:
+        if not was:
+            _ACTIVE.discard(name)
+
+
+def _load_env() -> None:
+    """Seed the active set from ``REPRO_MUTATIONS`` (spawned workers)."""
+    for name in os.environ.get("REPRO_MUTATIONS", "").split(","):
+        name = name.strip()
+        if name:
+            _ACTIVE.add(_check(name))
+
+
+_load_env()

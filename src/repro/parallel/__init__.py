@@ -38,9 +38,16 @@ from .runner import (
     SweepRunner,
     make_runner,
 )
-from .scenarios import RingScenario, StandardRingInvariants
+from .scenarios import (
+    AppScenario,
+    GenericInvariants,
+    RingScenario,
+    StandardRingInvariants,
+)
 
 __all__ = [
+    "AppScenario",
+    "GenericInvariants",
     "Invariant",
     "ProcessPoolRunner",
     "RingScenario",

@@ -60,6 +60,82 @@ class RingScenario:
         return sim, main
 
 
+#: App name -> builder, so :class:`AppScenario` stays a plain-data spec.
+_APP_BUILDERS = {
+    "heat1d": "_build_heat1d",
+    "ring_allreduce": "_build_ring_allreduce",
+    "abft_matvec": "_build_abft_matvec",
+    "manager_worker": "_build_manager_worker",
+}
+
+
+@dataclass(frozen=True)
+class AppScenario:
+    """Picklable factory for the bundled domain applications.
+
+    The same :data:`~repro.parallel.jobs.ScenarioFactory` contract as
+    :class:`RingScenario`, covering the four workloads under
+    :mod:`repro.apps`.  ``size`` and ``steps`` map onto each app's
+    natural knobs:
+
+    =================  =======================  ==================
+    app                ``size``                 ``steps``
+    =================  =======================  ==================
+    heat1d             cells per rank           diffusion steps
+    ring_allreduce     vector length            allreduce rounds
+    abft_matvec        rows per rank            matvec iterations
+    manager_worker     number of tasks          (unused)
+    =================  =======================  ==================
+    """
+
+    app: str
+    nprocs: int = 6
+    size: int = 8
+    steps: int = 5
+    seed: int = 0
+    detection_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.app not in _APP_BUILDERS:
+            raise ValueError(
+                f"unknown app {self.app!r} (known: {sorted(_APP_BUILDERS)})"
+            )
+
+    def __call__(self) -> tuple[Simulation, Any]:
+        sim = Simulation(
+            nprocs=self.nprocs,
+            seed=self.seed,
+            detection_latency=self.detection_latency,
+        )
+        return sim, getattr(self, _APP_BUILDERS[self.app])()
+
+    def _build_heat1d(self) -> Any:
+        from ..apps import HeatConfig, make_heat_main
+
+        return make_heat_main(
+            HeatConfig(cells_per_rank=self.size, steps=self.steps)
+        )
+
+    def _build_ring_allreduce(self) -> Any:
+        from ..apps import AllreduceConfig, make_allreduce_main
+
+        return make_allreduce_main(
+            AllreduceConfig(vector_len=self.size, rounds=self.steps)
+        )
+
+    def _build_abft_matvec(self) -> Any:
+        from ..apps import AbftConfig, make_abft_main
+
+        return make_abft_main(
+            AbftConfig(rows_per_rank=self.size, iterations=self.steps)
+        )
+
+    def _build_manager_worker(self) -> Any:
+        from ..apps import FarmConfig, make_farm_mains
+
+        return make_farm_mains(FarmConfig(num_tasks=self.size), self.nprocs)
+
+
 @dataclass(frozen=True)
 class StandardRingInvariants:
     """Picklable stand-in for :func:`repro.analysis.standard_ring_invariants`.
@@ -80,3 +156,18 @@ class StandardRingInvariants:
         return standard_ring_invariants(
             self.max_iter, self.nprocs, allow_root_loss=self.allow_root_loss
         )
+
+
+@dataclass(frozen=True)
+class GenericInvariants:
+    """Workload-agnostic battery: no hang, and every survivor finishes.
+
+    The fuzzer's default classification for the domain apps, whose
+    correctness contracts beyond liveness are app-specific (and live in
+    their own test modules).
+    """
+
+    def __call__(self) -> list[Invariant]:
+        from ..analysis import no_hang, survivors_done
+
+        return [no_hang, survivors_done]

@@ -41,7 +41,13 @@ from .constants import (
     TAG_UB,
     UNDEFINED,
 )
-from .costmodel import DEFAULT_COST, ZERO_COST, CostModel, HierarchicalCostModel
+from .costmodel import (
+    DEFAULT_COST,
+    ZERO_COST,
+    CostModel,
+    HierarchicalCostModel,
+    JitteredCostModel,
+)
 from .errors import (
     ErrorClass,
     ErrorHandler,
@@ -96,6 +102,7 @@ __all__ = [
     "Group",
     "Win",
     "HierarchicalCostModel",
+    "JitteredCostModel",
     "InvalidArgumentError",
     "JobAborted",
     "LowestRankFirstPolicy",

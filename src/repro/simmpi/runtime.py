@@ -727,6 +727,33 @@ class Simulation:
             raise ValueError(f"rank {rank} out of range")
         self.runtime.kill_at(rank, at_time)
 
+    def configure(
+        self,
+        *,
+        policy: str | SchedulingPolicy | None = None,
+        policy_seed: int | None = None,
+        cost: CostModel | None = None,
+    ) -> "Simulation":
+        """Re-plumb the scheduling policy and/or cost model before the run.
+
+        This is the fuzzer's hook: a scenario factory builds its
+        ``(Simulation, main)`` pair with the workload's defaults, and the
+        perturbation layer then swaps in a seeded policy and a jittered
+        cost model without the factory having to know about either.
+        Returns ``self`` (chainable).  Must be called before :meth:`run`.
+        """
+        if self._ran:
+            raise RuntimeError("cannot configure a Simulation after run()")
+        rt = self.runtime
+        if policy is not None:
+            seed = rt.seed if policy_seed is None else policy_seed
+            rt.policy = make_policy(policy, seed)
+            rt.policy.reset()
+        if cost is not None:
+            rt.cost = cost
+            rt._poll_dt = max(cost.overhead, 1e-9)
+        return self
+
     def add_injector(self, injector: Any) -> None:
         """Attach a fault injector (see :mod:`repro.faults`)."""
         self.runtime.injectors.append(injector)

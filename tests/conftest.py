@@ -1,4 +1,19 @@
-"""Shared pytest fixtures and helpers for the repro test suite."""
+"""Shared pytest fixtures, helpers, and the test-taxonomy hook.
+
+Two tiers of tests exist (``docs/testing.md``):
+
+* **tier1** — the fast default set, run on every commit (``pytest``);
+  every test not explicitly marked otherwise lands here automatically
+  via :func:`pytest_collection_modifyitems`.
+* **slow** — long fuzz/property campaigns, deselected by default
+  (``addopts`` carries ``-m 'not slow'``); CI's fuzz-smoke job and
+  nightly-style runs select them with ``pytest -m slow``.
+
+The module-level helpers below are the single home of the small
+scenario/invariant specs that several suites used to each define for
+themselves (``tests/test_parallel.py``, ``tests/test_exploration.py``,
+the fuzz tests); import them as ``from tests.conftest import ...``.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +21,30 @@ from typing import Any, Callable, Sequence
 
 import pytest
 
+from repro.core import (
+    RingConfig,
+    RingVariant,
+    Termination,
+    make_ring_main,
+    make_rootft_main,
+)
+from repro.parallel import RingScenario, StandardRingInvariants
 from repro.simmpi import CostModel, Simulation, SimulationResult
+
+# ---------------------------------------------------------------------------
+# Taxonomy: everything not marked slow is tier1
+# ---------------------------------------------------------------------------
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    for item in items:
+        if not any(item.iter_markers(name="slow")):
+            item.add_marker(pytest.mark.tier1)
+
+
+# ---------------------------------------------------------------------------
+# Simulation drivers
+# ---------------------------------------------------------------------------
 
 
 def run_sim(
@@ -26,6 +64,52 @@ def run_sim(
     for inj in injectors:
         sim.add_injector(inj)
     return sim.run(main, on_deadlock=on_deadlock)
+
+
+def factory_for(variant=RingVariant.FT_MARKER, rootft=False, nprocs=4,
+                max_iter=3, term=Termination.VALIDATE_ALL, **sim_kw):
+    """Closure-style ring scenario factory (serial sweeps only — use
+    :data:`RING_SCENARIO` / :class:`~repro.parallel.RingScenario` when
+    the factory must cross a process boundary)."""
+    def factory():
+        cfg = RingConfig(max_iter=max_iter, variant=variant, termination=term)
+        main = make_rootft_main(cfg) if rootft else make_ring_main(cfg)
+        return Simulation(nprocs=nprocs, **sim_kw), main
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# Canonical small-ring specs (picklable: safe for pooled runners)
+# ---------------------------------------------------------------------------
+
+#: The 4-rank, 3-iteration marker ring most sweep/fuzz tests target.
+RING_SCENARIO = RingScenario(nprocs=4, iters=3)
+
+#: Its matching full invariant battery.
+RING_INVARIANTS = StandardRingInvariants(3, 4)
+
+
+# ---------------------------------------------------------------------------
+# Report comparators (serial-vs-parallel equivalence assertions)
+# ---------------------------------------------------------------------------
+
+
+def campaign_fields(report):
+    """Every per-run field of a campaign report that must survive a
+    process boundary unchanged."""
+    return [
+        (r.seed, r.kills, r.hung, r.aborted, r.violations, r.result)
+        for r in report.runs
+    ]
+
+
+def outcome_fields(report):
+    """Every per-window field of an exploration report, likewise."""
+    return [
+        (o.windows, o.hung, o.aborted, o.violations, o.result)
+        for o in report.outcomes
+    ]
 
 
 @pytest.fixture

@@ -1,0 +1,67 @@
+"""Golden-trace determinism for the four bundled domain applications.
+
+``tests/test_determinism_golden.py`` pins the ring's behaviour byte for
+byte; this file extends the same guarantee to the application layer:
+under the default scheduling policy, each app's full semantic trace must
+match the checked-in golden file exactly, across kernel rewrites and
+across runs.  The scenarios go through the picklable
+:class:`~repro.parallel.AppScenario` spec — the same path the fuzzer
+takes — so golden drift also flags spec regressions.
+
+Regenerate (only when an *intentional* semantic change lands) with::
+
+    PYTHONPATH=src python tests/test_app_golden.py --regen
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.parallel import AppScenario
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: One golden file per app, all through the default ("rr") policy.
+CASES = [
+    ("app_heat1d", AppScenario(app="heat1d", nprocs=4, size=4, steps=3)),
+    ("app_ring_allreduce",
+     AppScenario(app="ring_allreduce", nprocs=4, size=4, steps=3)),
+    ("app_abft_matvec",
+     AppScenario(app="abft_matvec", nprocs=4, size=4, steps=3)),
+    ("app_manager_worker",
+     AppScenario(app="manager_worker", nprocs=4, size=4)),
+]
+
+
+def _run_scenario(scenario: AppScenario) -> str:
+    sim, main = scenario()
+    result = sim.run(main, on_deadlock="return")
+    assert not result.hung
+    return result.trace.format() + "\n"
+
+
+@pytest.mark.parametrize("stem,scenario", CASES, ids=[c[0] for c in CASES])
+def test_app_trace_matches_golden(stem: str, scenario: AppScenario) -> None:
+    golden = (GOLDEN_DIR / f"{stem}.txt").read_text()
+    assert _run_scenario(scenario) == golden
+
+
+@pytest.mark.parametrize("stem,scenario", CASES, ids=[c[0] for c in CASES])
+def test_app_trace_stable_across_runs(
+    stem: str, scenario: AppScenario
+) -> None:
+    assert _run_scenario(scenario) == _run_scenario(scenario)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("pass --regen to overwrite the golden files")
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for stem, scenario in CASES:
+        out = _run_scenario(scenario)
+        (GOLDEN_DIR / f"{stem}.txt").write_text(out)
+        print(f"wrote {stem}.txt ({len(out.splitlines())} lines)")

@@ -10,25 +10,9 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import standard_ring_invariants
-from repro.core import (
-    RingConfig,
-    RingVariant,
-    Termination,
-    make_ring_main,
-    make_rootft_main,
-)
+from repro.core import RingVariant, Termination
 from repro.faults import explore
-from repro.simmpi import Simulation
-
-
-def factory_for(variant=RingVariant.FT_MARKER, rootft=False, nprocs=4,
-                max_iter=3, term=Termination.VALIDATE_ALL, **sim_kw):
-    def factory():
-        cfg = RingConfig(max_iter=max_iter, variant=variant, termination=term)
-        main = make_rootft_main(cfg) if rootft else make_ring_main(cfg)
-        return Simulation(nprocs=nprocs, **sim_kw), main
-
-    return factory
+from tests.conftest import factory_for
 
 
 class TestExhaustiveSingles:

@@ -27,6 +27,12 @@ from repro.parallel import (
     make_runner,
     resolve_invariants,
 )
+from tests.conftest import (
+    RING_INVARIANTS as INVARIANTS,
+    RING_SCENARIO as SCENARIO,
+    campaign_fields as _campaign_fields,
+    outcome_fields as _outcome_fields,
+)
 
 # ---------------------------------------------------------------------------
 # Picklable fixture jobs (module level: they must cross a process boundary).
@@ -69,10 +75,6 @@ class DieJob:
         os._exit(13)
 
 
-SCENARIO = RingScenario(nprocs=4, iters=3)
-INVARIANTS = StandardRingInvariants(3, 4)
-
-
 def _campaign(runner=None, workers=None, **kw):
     return run_campaign(
         SCENARIO,
@@ -93,20 +95,6 @@ def _explore(runner=None, workers=None):
         runner=runner,
         workers=workers,
     )
-
-
-def _campaign_fields(report):
-    return [
-        (r.seed, r.kills, r.hung, r.aborted, r.violations, r.result)
-        for r in report.runs
-    ]
-
-
-def _outcome_fields(report):
-    return [
-        (o.windows, o.hung, o.aborted, o.violations, o.result)
-        for o in report.outcomes
-    ]
 
 
 # ---------------------------------------------------------------------------
