@@ -30,7 +30,7 @@ import pytest
 
 from repro.core import RingConfig, make_ring_main, make_rootft_main
 from repro.parallel import SweepRunner, make_runner
-from repro.perf import SESSION
+from repro.perf import CACHE, SESSION
 from repro.simmpi import Simulation, SimulationResult
 
 #: series name -> list of observed wall-clock durations (seconds).
@@ -102,12 +102,21 @@ def timed(benchmark: Any, fn: Callable[[], Any]) -> Any:
 
     def instrumented() -> Any:
         before = SESSION.snapshot()
+        cache_before = CACHE.snapshot()
         t0 = time.perf_counter()
         out = fn()
         durations.append(time.perf_counter() - t0)
         # Deterministic runs: every round's counters are identical, so
         # keeping the last round's delta loses nothing.
-        _COUNTERS[name] = SESSION.delta(before)
+        counters = SESSION.delta(before)
+        # Run-cache traffic rides along (prefixed, only when nonzero) so
+        # cold/warm series in BENCH_simperf.json are self-describing.
+        counters.update(
+            (f"cache_{k}", v)
+            for k, v in CACHE.delta(cache_before).items()
+            if v
+        )
+        _COUNTERS[name] = counters
         return out
 
     return benchmark.pedantic(instrumented, rounds=3, iterations=1,

@@ -1,5 +1,6 @@
-"""``repro.analysis`` — invariants, statistics, and table formatting."""
+"""``repro.analysis`` — invariants, statistics, digests, and tables."""
 
+from .digest import perf_dict, result_digest, trace_digest
 from .invariants import (
     Invariant,
     completions_in_order,
@@ -30,8 +31,11 @@ __all__ = [
     "no_abort",
     "no_duplicate_completions",
     "no_hang",
+    "perf_dict",
     "render_spacetime",
+    "result_digest",
     "ring_summary",
     "standard_ring_invariants",
     "survivors_done",
+    "trace_digest",
 ]

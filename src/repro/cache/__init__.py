@@ -1,0 +1,39 @@
+"""``repro.cache`` — content-addressed run cache for sweep jobs.
+
+Every sweep job (fault-window exploration, kill campaigns, schedule
+fuzzing) is a pure function of a picklable spec, so its classified
+outcome can be stored under a key derived from that spec and reused by
+any later sweep that asks the same question.  Three layers:
+
+* :mod:`repro.cache.keys` — the canonical blake2b key over the job's
+  full determinism surface (scenario, policy + seed, cost/jitter
+  parameters, fault schedule, trace flag), salted with the package
+  version and the active mutation set;
+* :mod:`repro.cache.store` — the on-disk store (sharded JSON entries,
+  flock-guarded atomic writes) plus ``stats``/``gc``/``verify``
+  maintenance, where ``verify`` re-executes a sample of entries and
+  diffs payloads field by field;
+* :mod:`repro.cache.runner` — :class:`CachedRunner`, a drop-in
+  :class:`~repro.parallel.runner.SweepRunner` wrapper serving hits
+  parent-side and delegating misses to any inner runner.
+
+Hit/miss/stale/store accounting lives in :data:`repro.perf.CACHE`.
+Correctness contract: a cached sweep's report is byte-identical to the
+uncached one — the cache changes wall-clock time and nothing else.
+"""
+
+from .keys import KEY_FORMAT, Uncacheable, canonical_token, job_key
+from .runner import CachedRunner
+from .store import RunCache, VerifyResult, default_cache_dir, diff_payload
+
+__all__ = [
+    "CachedRunner",
+    "KEY_FORMAT",
+    "RunCache",
+    "Uncacheable",
+    "VerifyResult",
+    "canonical_token",
+    "default_cache_dir",
+    "diff_payload",
+    "job_key",
+]

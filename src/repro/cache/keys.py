@@ -1,0 +1,135 @@
+"""Canonical cache keys: one blake2b digest per sweep job.
+
+A job outcome may be reused only when *everything* that determines it is
+captured in the key.  PR 3 made every sweep job a pure function of a
+picklable spec, so the key is a canonical serialization of the job
+dataclass itself — scenario spec, policy + seed, cost/jitter parameters,
+fault schedule, invariant spec, trace flag — salted with:
+
+* the package version (``repro.__version__``) — a *code-version salt*:
+  protocol or kernel changes ship as version bumps, which invalidate
+  every entry at once (``repro cache verify`` exists to catch the
+  in-between states of a development tree);
+* the active mutation set (:func:`repro.mutation.active_set`), so a
+  deliberately weakened build (``ring_no_dedup``, ``REPRO_MUTATIONS``)
+  never reuses outcomes recorded by an intact one.
+
+Canonicalization is strict by design: anything whose behaviour the key
+cannot pin — a lambda, a closure, an unrecognized object — raises
+:class:`Uncacheable`, and :func:`job_key` maps that to ``None`` (the job
+simply runs uncached).  A wrong key silently serves a wrong result; *no*
+key merely costs a re-run.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Any
+
+from .. import __version__
+from ..mutation import active_set
+
+__all__ = ["KEY_FORMAT", "Uncacheable", "canonical_token", "job_key"]
+
+#: Entry/key layout version; bump when the payload shape or the key
+#: composition changes (old entries then read as stale, never as hits).
+KEY_FORMAT = "repro.cache/1"
+
+
+class Uncacheable(TypeError):
+    """The object cannot be canonically serialized into a cache key."""
+
+
+def _sorted_tokens(tokens: list[Any]) -> list[Any]:
+    """Order-independent listing (sets, dict items) by canonical form."""
+    return sorted(tokens, key=lambda t: json.dumps(t, sort_keys=True))
+
+
+def _tokenize(obj: Any) -> Any:
+    """Reduce *obj* to a JSON-able tree that pins its identity exactly."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        # json renders floats with repr (shortest round-trip), so float
+        # identity survives the dump byte-for-byte.
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_tokenize(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": _sorted_tokens([_tokenize(x) for x in obj])}
+    if isinstance(obj, dict):
+        return {
+            "__map__": _sorted_tokens(
+                [[_tokenize(k), _tokenize(v)] for k, v in obj.items()]
+            )
+        }
+    if isinstance(obj, Enum):
+        return {"__enum__": _qualname(type(obj)), "value": _tokenize(obj.value)}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        exclude = set(getattr(type(obj), "_cache_key_exclude", ()))
+        return {
+            "__dc__": _qualname(type(obj)),
+            "fields": {
+                f.name: _tokenize(getattr(obj, f.name))
+                for f in fields(obj)
+                if f.name not in exclude and not f.name.startswith("_")
+            },
+        }
+    if isinstance(obj, functools.partial):
+        return {
+            "__partial__": [
+                _tokenize(obj.func),
+                _tokenize(obj.args),
+                _tokenize(obj.keywords),
+            ]
+        }
+    if callable(obj):
+        name = _qualname(obj if isinstance(obj, type) else type(obj))
+        if isinstance(obj, type):
+            raise Uncacheable(f"bare class {name} cannot be keyed")
+        qual = getattr(obj, "__qualname__", "")
+        mod = getattr(obj, "__module__", "")
+        if not mod or not qual or "<lambda>" in qual or "<locals>" in qual:
+            raise Uncacheable(
+                f"callable {qual or obj!r} is not addressable by name "
+                "(lambdas/closures cannot be cache-keyed)"
+            )
+        return {"__fn__": f"{mod}.{qual}"}
+    raise Uncacheable(
+        f"cannot canonicalize {type(obj).__name__} for a cache key"
+    )
+
+
+def _qualname(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def canonical_token(obj: Any) -> str:
+    """The canonical JSON string for *obj* (raises :class:`Uncacheable`)."""
+    return json.dumps(_tokenize(obj), sort_keys=True, separators=(",", ":"))
+
+
+def job_key(job: Any) -> str | None:
+    """The job's content-addressed key, or ``None`` when uncacheable.
+
+    A job participates in caching only when it implements the cache
+    contract (``cache_payload``/``from_cached``, see
+    ``repro/parallel/jobs.py``), does not veto via a false ``cacheable``
+    property (e.g. ``keep_results=True`` jobs, whose result cannot be
+    reduced to a JSON payload), and canonicalizes cleanly.
+    """
+    if not (hasattr(job, "cache_payload") and hasattr(job, "from_cached")):
+        return None
+    if not getattr(job, "cacheable", True):
+        return None
+    try:
+        token = canonical_token(job)
+    except Uncacheable:
+        return None
+    h = hashlib.blake2b(digest_size=20)
+    for part in (KEY_FORMAT, __version__, ",".join(active_set()), token):
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()

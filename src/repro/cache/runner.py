@@ -1,0 +1,108 @@
+"""A :class:`~repro.parallel.runner.SweepRunner` wrapper that answers
+jobs from the content-addressed store before touching the inner runner.
+
+Design choice worth spelling out: **all cache traffic happens in the
+submitting process**.  The wrapper computes keys and performs lookups
+up front, sends only the misses to the inner runner (serial or pooled),
+and performs the stores as results come back.  Three things fall out:
+
+* the hit/miss/stale/store counters in :data:`repro.perf.CACHE` are
+  exact even for pooled sweeps (worker-side counters would be lost at
+  the pool boundary);
+* the store sees one writer per sweep parent, so the flock in
+  :class:`~repro.cache.store.RunCache` is enough for concurrent
+  campaigns sharing a cache directory;
+* workers stay oblivious to caching — a miss crosses the pool wrapped
+  in :class:`_MissJob`, which calls the job's ``cache_payload()`` *in
+  the worker* (where the trace exists, so digests cost nothing extra to
+  compute) and ships back ``(outcome, payload)``.
+
+Merged results keep submission order, exactly like the inner runner, so
+a cached sweep is report-byte-identical to an uncached one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .. import perf
+from ..parallel.runner import SerialRunner, SweepJob, SweepRunner
+from .keys import job_key
+from .store import RunCache
+
+__all__ = ["CachedRunner"]
+
+_PENDING = object()
+
+
+@dataclass(frozen=True)
+class _MissJob:
+    """Worker-side shim for a cache miss: run the job via its cache
+    contract so the payload is built where the trace lives, and return
+    ``(outcome, payload)`` for the parent to store."""
+
+    job: Any
+
+    def __call__(self) -> tuple[Any, dict[str, Any]]:
+        return self.job.cache_payload()
+
+
+class CachedRunner(SweepRunner):
+    """Serve cacheable jobs from a :class:`RunCache`; delegate the rest.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`RunCache`, a path, or ``None`` for the default
+        directory (see :func:`~repro.cache.store.default_cache_dir`).
+    inner:
+        The runner that executes misses and uncacheable jobs
+        (default: :class:`~repro.parallel.runner.SerialRunner`).
+    """
+
+    def __init__(
+        self,
+        cache: RunCache | str | None = None,
+        inner: SweepRunner | None = None,
+    ) -> None:
+        self.cache = RunCache.at(cache)
+        self.inner = inner or SerialRunner()
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[Any]:
+        jobs = list(jobs)
+        results: list[Any] = [_PENDING] * len(jobs)
+        #: (submission index, key or None, job-to-execute) per pending job.
+        pending: list[tuple[int, str | None, SweepJob]] = []
+        for i, job in enumerate(jobs):
+            key = job_key(job)
+            if key is None:
+                # Not part of the cache contract (or vetoed): pass the
+                # job through untouched, count nothing.
+                pending.append((i, None, job))
+                continue
+            status, payload = self.cache.fetch(key)
+            if status == "hit":
+                try:
+                    results[i] = job.from_cached(payload)
+                except Exception:  # noqa: BLE001 - treat as stale entry
+                    status = "stale"
+            if status == "hit":
+                perf.CACHE.hits += 1
+                continue
+            if status == "stale":
+                perf.CACHE.stale += 1
+            else:
+                perf.CACHE.misses += 1
+            pending.append((i, key, _MissJob(job)))
+        if pending:
+            executed = self.inner.run([job for _i, _k, job in pending])
+            for (i, key, wrapped), value in zip(pending, executed):
+                if key is None:
+                    results[i] = value
+                    continue
+                outcome, payload = value
+                results[i] = outcome
+                self.cache.put(key, payload, wrapped.job)
+                perf.CACHE.stores += 1
+        return results

@@ -1,0 +1,321 @@
+"""On-disk content-addressed store for classified sweep outcomes.
+
+Layout: one JSON file per entry at ``root/<key[:2]>/<key>.json`` (the
+two-hex-digit fan-out keeps directories small for big campaigns), plus a
+``root/.lock`` file guarding writers.  An entry stores the *classified*
+outcome payload produced by the job's ``cache_payload()`` — violations,
+hang/abort flags, digests, perf counters minus ``wall_s``, final virtual
+time — never a raw ``SimulationResult`` (traces are large, and pickled
+kernel state would rot across versions).
+
+Writes are atomic (tmp file + ``os.replace``) under an ``fcntl`` flock
+so the serial runner and every parent of a process pool can share one
+store; readers take no lock (``os.replace`` guarantees they see either
+the old or the new complete file, never a torn one).
+
+Each entry also carries a base64-pickled copy of the job itself, which
+is what lets ``repro cache verify`` re-execute a sample of entries and
+diff the stored payload against a fresh run, field by field.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from .keys import KEY_FORMAT, job_key
+
+try:  # pragma: no cover - exercised only where fcntl exists (POSIX)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["RunCache", "VerifyResult", "default_cache_dir", "diff_payload"]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/runs``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "runs"
+
+
+def diff_payload(
+    stored: dict[str, Any], fresh: dict[str, Any]
+) -> list[str]:
+    """Field-by-field differences between two outcome payloads.
+
+    Returns human-readable ``field: stored != fresh`` lines; empty means
+    the payloads agree.  Comparison happens after a JSON round-trip of
+    the fresh side so types match what the store serialized (tuples
+    become lists, etc.).
+    """
+    fresh = json.loads(json.dumps(fresh))
+    diffs = []
+    for name in sorted(set(stored) | set(fresh)):
+        if name not in stored:
+            diffs.append(f"{name}: missing from stored entry")
+        elif name not in fresh:
+            diffs.append(f"{name}: missing from fresh run")
+        elif stored[name] != fresh[name]:
+            diffs.append(f"{name}: stored {stored[name]!r} != fresh {fresh[name]!r}")
+    return diffs
+
+
+@dataclass
+class VerifyResult:
+    """Outcome of re-executing one cached entry (``repro cache verify``)."""
+
+    key: str
+    job_label: str
+    ok: bool
+    #: ``field: stored != fresh`` lines when the payload disagrees.
+    diffs: list[str] = field(default_factory=list)
+    #: Set when the entry could not be re-executed at all.
+    error: str | None = None
+
+    def format(self) -> str:
+        head = f"{'OK  ' if self.ok else 'FAIL'} {self.key[:12]}  {self.job_label}"
+        if self.error:
+            return f"{head}\n      {self.error}"
+        return "\n".join([head] + [f"      {d}" for d in self.diffs])
+
+
+class RunCache:
+    """A content-addressed store of classified sweep outcomes."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    @classmethod
+    def at(cls, where: "RunCache | Path | str | bool | None") -> "RunCache":
+        """Coerce a path-ish argument to a cache (``None``/``True`` →
+        the default directory; see :func:`default_cache_dir`)."""
+        if isinstance(where, RunCache):
+            return where
+        if where is None or where is True:
+            return cls(default_cache_dir())
+        return cls(Path(where))
+
+    # -- read side ----------------------------------------------------
+
+    def fetch(self, key: str) -> tuple[str, dict[str, Any] | None]:
+        """Look up *key*; returns ``(status, payload)``.
+
+        *status* is ``"hit"`` (payload usable), ``"miss"`` (no entry),
+        or ``"stale"`` (an entry exists but is corrupt or from another
+        key-format version — callers re-execute and overwrite it).
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            return "miss", None
+        try:
+            entry = json.loads(raw)
+            if entry.get("format") != KEY_FORMAT:
+                return "stale", None
+            payload = entry["payload"]
+            if not isinstance(payload, dict):
+                raise TypeError("payload is not an object")
+        except (ValueError, KeyError, TypeError):
+            return "stale", None
+        return "hit", payload
+
+    def keys(self) -> Iterator[str]:
+        """Every key currently stored (filesystem order within shards)."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for f in sorted(shard.glob("*.json")):
+                yield f.stem
+
+    def entry(self, key: str) -> dict[str, Any] | None:
+        """The full raw entry (metadata included), or ``None``."""
+        try:
+            return json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    # -- write side ---------------------------------------------------
+
+    def put(self, key: str, payload: dict[str, Any], job: Any) -> None:
+        """Store *payload* under *key*, atomically and under the lock.
+
+        The job is pickled alongside (base64) so ``verify`` can later
+        re-execute the entry without reconstructing its spec by hand.
+        """
+        entry = {
+            "format": KEY_FORMAT,
+            "key": key,
+            "stored_at": time.time(),
+            "job_type": f"{type(job).__module__}.{type(job).__qualname__}",
+            "job_pickle": base64.b64encode(
+                pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii"),
+            "payload": payload,
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = json.dumps(entry, sort_keys=True)
+        with self._lock():
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(data)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    # -- maintenance --------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Entry count, total bytes, and root path (``repro cache stats``)."""
+        entries = 0
+        total = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for key in self.keys():
+            path = self._path(key)
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries += 1
+            total += st.st_size
+            oldest = st.st_mtime if oldest is None else min(oldest, st.st_mtime)
+            newest = st.st_mtime if newest is None else max(newest, st.st_mtime)
+        return {
+            "root": str(self.root),
+            "format": KEY_FORMAT,
+            "entries": entries,
+            "total_bytes": total,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def gc(self, *, max_age_s: float | None = None) -> dict[str, int]:
+        """Drop stale-format entries, and (optionally) entries older than
+        *max_age_s* seconds; returns removal counts."""
+        removed_stale = 0
+        removed_old = 0
+        now = time.time()
+        with self._lock():
+            for key in list(self.keys()):
+                path = self._path(key)
+                entry = self.entry(key)
+                if entry is None or entry.get("format") != KEY_FORMAT:
+                    path.unlink(missing_ok=True)
+                    removed_stale += 1
+                    continue
+                if max_age_s is not None:
+                    stored = entry.get("stored_at")
+                    if not isinstance(stored, (int, float)) or (
+                        now - stored > max_age_s
+                    ):
+                        path.unlink(missing_ok=True)
+                        removed_old += 1
+        return {"removed_stale": removed_stale, "removed_old": removed_old}
+
+    def verify(
+        self, *, sample: int | None = None, seed: int = 0
+    ) -> list[VerifyResult]:
+        """Re-execute (a sample of) stored entries and diff the payloads.
+
+        For each selected entry: unpickle the stored job, recompute its
+        key (a mismatch means *key drift* — the key no longer covers the
+        job, or the code version/mutation salt changed under it), run the
+        job fresh via ``cache_payload()``, and compare payloads with
+        :func:`diff_payload`.  Hung/failing entries come back with
+        ``ok=False`` rather than raising, so one bad entry cannot hide
+        the rest.
+        """
+        keys = list(self.keys())
+        if sample is not None and sample < len(keys):
+            keys = random.Random(seed).sample(keys, sample)
+        results: list[VerifyResult] = []
+        for key in keys:
+            results.append(self._verify_one(key))
+        return results
+
+    def _verify_one(self, key: str) -> VerifyResult:
+        entry = self.entry(key)
+        if entry is None:
+            return VerifyResult(key, "?", False, error="unreadable entry")
+        label = entry.get("job_type", "?")
+        if entry.get("format") != KEY_FORMAT:
+            return VerifyResult(
+                key, label, False,
+                error=f"format {entry.get('format')!r} != {KEY_FORMAT!r}",
+            )
+        try:
+            job = pickle.loads(base64.b64decode(entry["job_pickle"]))
+        except Exception as exc:  # noqa: BLE001 - any unpickle failure
+            return VerifyResult(key, label, False, error=f"unpicklable job: {exc}")
+        recomputed = job_key(job)
+        if recomputed != key:
+            return VerifyResult(
+                key, label, False,
+                error=(
+                    "key drift: stored under "
+                    f"{key[:12]}… but recomputes to "
+                    f"{(recomputed or 'None')[:12]}…"
+                ),
+            )
+        try:
+            _, fresh = job.cache_payload()
+        except Exception as exc:  # noqa: BLE001 - job execution failed
+            return VerifyResult(key, label, False, error=f"re-execution failed: {exc}")
+        diffs = diff_payload(entry.get("payload", {}), fresh)
+        return VerifyResult(key, label, not diffs, diffs=diffs)
+
+    # -- plumbing -----------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _lock(self) -> "_FileLock":
+        return _FileLock(self.root / ".lock")
+
+
+class _FileLock:
+    """``with``-scoped exclusive flock on a sentinel file (POSIX); a
+    no-op where ``fcntl`` is unavailable (writes are still atomic via
+    ``os.replace``, so the worst case is duplicated work, not a torn
+    entry)."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._fh = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a+")
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._fh is not None:
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            self._fh.close()
+            self._fh = None

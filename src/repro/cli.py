@@ -33,6 +33,13 @@ Subcommands
     Re-run saved ``.repro.json`` reproducers and verify each reproduces
     its recorded violations and trace digest byte-for-byte.
 
+``cache``
+    Inspect and maintain the content-addressed run cache
+    (``stats`` / ``gc`` / ``verify``).  The sweep subcommands
+    (``explore``, ``campaign``, ``fuzz``) take ``--cache`` to reuse
+    classified outcomes across invocations; reports stay byte-identical
+    (a ``[cache] hits=…`` accounting line goes to stderr).
+
 Examples::
 
     python -m repro ring --nprocs 8 --iters 6 --kill-probe 3:post_recv:2
@@ -42,6 +49,8 @@ Examples::
     python -m repro abft --kill-probe 2:computed:3
     python -m repro fuzz --runs 200 --seed 1 --max-kills 2 --out-dir repros
     python -m repro replay repros/fuzz-1-0007.repro.json
+    python -m repro explore --cache --cache-dir .repro-cache --progress
+    python -m repro cache verify --sample 10
 """
 
 from __future__ import annotations
@@ -96,6 +105,51 @@ def _schedule_from(args: argparse.Namespace) -> FailureSchedule:
         rank, probe, hit = spec.split(":")
         sched.at_probe(int(rank), probe, int(hit))
     return sched
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="reuse classified outcomes from the content-addressed run "
+             "cache (the report is byte-identical; only wall time changes)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR, else "
+             "~/.cache/repro/runs)",
+    )
+
+
+def _cache_arg(args: argparse.Namespace):
+    """What the sweep entry points expect: ``None`` (off), a directory,
+    or ``True`` (the default directory)."""
+    if not args.cache:
+        return None
+    return args.cache_dir if args.cache_dir is not None else True
+
+
+def _cache_counters_snapshot(args: argparse.Namespace):
+    if not args.cache:
+        return None
+    from . import perf
+
+    return perf.CACHE.snapshot()
+
+
+def _report_cache(args: argparse.Namespace, before) -> None:
+    """One ``[cache] hits=…`` line on **stderr** — stdout carries the
+    report and must stay byte-identical with the cache on or off (CI
+    diffs it)."""
+    if before is None:
+        return
+    from . import perf
+
+    d = perf.CACHE.delta(before)
+    print(
+        f"[cache] hits={d['hits']} misses={d['misses']} "
+        f"stale={d['stale']} stores={d['stores']}",
+        file=sys.stderr,
+    )
 
 
 def _common_sim(args: argparse.Namespace, nprocs: int) -> Simulation:
@@ -160,6 +214,11 @@ def _ring_scenario(args: argparse.Namespace) -> RingScenario:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     ranks = None if args.rootft else list(range(1, args.nprocs))
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            print(f"[explore] {done}/{total} scenarios", file=sys.stderr)
+    before = _cache_counters_snapshot(args)
     rep = explore(
         _ring_scenario(args),
         invariants=StandardRingInvariants(
@@ -167,9 +226,13 @@ def cmd_explore(args: argparse.Namespace) -> int:
         ),
         ranks=ranks,
         pairs=args.pairs,
+        max_windows=args.limit,
         workers=args.workers,
+        cache=_cache_arg(args),
+        progress=progress,
     )
     print(rep.format())
+    _report_cache(args, before)
     return 1 if rep.failures else 0
 
 
@@ -177,6 +240,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     eligible = None
     if args.rootft:
         eligible = list(range(args.nprocs))  # the root may die too
+    before = _cache_counters_snapshot(args)
     rep = run_campaign(
         _ring_scenario(args),
         seeds=range(args.first_seed, args.first_seed + args.runs),
@@ -187,8 +251,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             args.iters, args.nprocs, allow_root_loss=args.rootft
         ),
         workers=args.workers,
+        cache=_cache_arg(args),
     )
     print(rep.format())
+    _report_cache(args, before)
     return 1 if rep.failures else 0
 
 
@@ -292,11 +358,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import fuzz, write_repro
     from .parallel import make_runner
 
+    before = _cache_counters_snapshot(args)
     report = fuzz(
         _fuzz_scenario(args),
         runs=args.runs,
         seed=args.fuzz_seed,
         runner=make_runner(args.workers),
+        cache=_cache_arg(args),
         shrink_failures=not args.no_shrink,
         max_jitter=args.max_jitter,
         min_kills=args.min_kills,
@@ -304,6 +372,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         horizon=args.horizon,
     )
     print(report.format(verbose=args.verbose))
+    _report_cache(args, before)
     if args.out_dir and report.failures:
         out = Path(args.out_dir)
         out.mkdir(parents=True, exist_ok=True)
@@ -336,6 +405,34 @@ def cmd_replay(args: argparse.Namespace) -> int:
         if not rep.ok:
             worst = 1
     return worst
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain the content-addressed run cache."""
+    from .cache import RunCache
+
+    cache = RunCache.at(args.cache_dir)
+    if args.cache_cmd == "stats":
+        s = cache.stats()
+        print(f"root:     {s['root']}")
+        print(f"format:   {s['format']}")
+        print(f"entries:  {s['entries']}")
+        print(f"size:     {s['total_bytes']} bytes")
+        return 0
+    if args.cache_cmd == "gc":
+        max_age = args.max_age_days * 86400.0 if args.max_age_days else None
+        counts = cache.gc(max_age_s=max_age)
+        print(f"removed {counts['removed_stale']} stale-format and "
+              f"{counts['removed_old']} expired entr(ies)")
+        return 0
+    # verify: re-execute (a sample of) entries and diff field by field.
+    results = cache.verify(sample=args.sample, seed=args.seed)
+    for r in results:
+        print(r.format())
+    bad = sum(not r.ok for r in results)
+    print(f"verified {len(results)} entr(ies): "
+          f"{len(results) - bad} ok, {bad} failing")
+    return 1 if bad else 0
 
 
 def cmd_abft(args: argparse.Namespace) -> int:
@@ -394,9 +491,16 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--rootft", action="store_true")
     ex.add_argument("--pairs", action="store_true",
                     help="also sweep every pair of windows")
+    ex.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="cap the enumeration at the first N windows "
+                         "(the report names what was considered)")
     ex.add_argument("--workers", type=int, default=None,
                     help="fan the re-runs over N worker processes "
                          "(default: serial; the report is identical)")
+    ex.add_argument("--progress", action="store_true",
+                    help="report sweep liveness on stderr as batches "
+                         "complete")
+    _add_cache_args(ex)
     ex.set_defaults(fn=cmd_explore)
 
     camp = sub.add_parser(
@@ -421,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--workers", type=int, default=None,
                       help="fan the runs over N worker processes "
                            "(default: serial; the report is identical)")
+    _add_cache_args(camp)
     camp.set_defaults(fn=cmd_campaign)
 
     heat = sub.add_parser("heat", help="fault-tolerant heat diffusion")
@@ -502,7 +607,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a .repro.json per failure into DIR")
     fz.add_argument("--verbose", action="store_true",
                     help="list every outcome, not just failures")
+    _add_cache_args(fz)
     fz.set_defaults(fn=cmd_fuzz)
+
+    ca = sub.add_parser(
+        "cache", help="inspect and maintain the content-addressed run cache"
+    )
+    ca.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="cache directory (default: $REPRO_CACHE_DIR, "
+                         "else ~/.cache/repro/runs)")
+    casub = ca.add_subparsers(dest="cache_cmd", required=True)
+    cast = casub.add_parser("stats", help="entry count and disk footprint")
+    cast.set_defaults(fn=cmd_cache)
+    cagc = casub.add_parser(
+        "gc", help="drop stale-format (and optionally old) entries"
+    )
+    cagc.add_argument("--max-age-days", type=float, default=None,
+                      help="also drop entries older than this many days")
+    cagc.set_defaults(fn=cmd_cache)
+    cave = casub.add_parser(
+        "verify",
+        help="re-execute stored entries and diff payloads field by field",
+    )
+    cave.add_argument("--sample", type=int, default=None, metavar="N",
+                      help="verify a seeded random sample of N entries "
+                           "(default: all)")
+    cave.add_argument("--seed", type=int, default=0,
+                      help="sampling seed (default: 0)")
+    cave.set_defaults(fn=cmd_cache)
 
     rp = sub.add_parser(
         "replay", help="re-run saved .repro.json reproducers and verify"

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..parallel.jobs import (
     InvariantSpec,
@@ -101,6 +101,9 @@ class CampaignJob:
     keep_results: bool = False
 
     def __call__(self) -> CampaignRun:
+        return self._execute()[0]
+
+    def _execute(self) -> tuple[CampaignRun, SimulationResult]:
         rng = random.Random(self.seed)
         sim, main = self.factory()
         ranks = (
@@ -119,13 +122,48 @@ class CampaignJob:
         )
         result = sim.run(main, on_deadlock="return")
         violations = check_invariants(self.invariants, result)
-        return CampaignRun(
+        run = CampaignRun(
             seed=self.seed,
             kills=kills,
             hung=result.hung,
             aborted=result.aborted is not None,
             violations=violations,
             result=result if self.keep_results else None,
+        )
+        return run, result
+
+    # -- cache contract (see repro/parallel/jobs.py) -------------------
+
+    @property
+    def cacheable(self) -> bool:
+        """A job that must return the full ``SimulationResult`` cannot be
+        served from the cache (traces are never stored)."""
+        return not self.keep_results
+
+    def cache_payload(self) -> tuple[CampaignRun, dict[str, Any]]:
+        from ..analysis.digest import perf_dict, result_digest
+
+        run, result = self._execute()
+        return run, {
+            # JSON turns the (rank, time) pairs into 2-lists; floats
+            # round-trip exactly (repr is shortest-round-trip).
+            "kills": [[rank, time] for rank, time in run.kills],
+            "violations": list(run.violations),
+            "hung": run.hung,
+            "aborted": run.aborted,
+            "digest": result_digest(result),
+            "final_time": result.final_time,
+            "perf": perf_dict(result),
+        }
+
+    def from_cached(self, payload: dict[str, Any]) -> CampaignRun:
+        return CampaignRun(
+            seed=self.seed,
+            kills=tuple((rank, time) for rank, time in payload["kills"]),
+            hung=bool(payload["hung"]),
+            aborted=bool(payload["aborted"]),
+            violations=list(payload["violations"]),
+            result=None,
         )
 
 
@@ -140,6 +178,7 @@ def run_campaign(
     keep_results: bool = False,
     workers: int | None = None,
     runner: SweepRunner | None = None,
+    cache: Any = None,
 ) -> CampaignReport:
     """Sample ``len(seeds)`` runs, each killing ``kills_per_run`` distinct
     ranks at uniform-random virtual times in ``[0, horizon)``.
@@ -153,6 +192,11 @@ def run_campaign(
     :mod:`repro.parallel.scenarios`); pass ``runner`` to control
     chunking, timeouts, and retries directly.  The report is identical
     either way.
+
+    ``cache`` enables the content-addressed run cache (:mod:`repro.cache`):
+    ``True`` for the default directory, a path, or a ``RunCache``.  A
+    warm campaign replays classified outcomes without executing the
+    simulations; the report is byte-identical to a cold or uncached one.
     """
     jobs = [
         CampaignJob(
@@ -170,4 +214,8 @@ def run_campaign(
     ]
     if runner is None:
         runner = make_runner(workers)
+    if cache is not None and cache is not False:
+        from ..cache import CachedRunner, RunCache
+
+        runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
     return CampaignReport(runs=runner.run(jobs))

@@ -26,8 +26,9 @@ per window (and per pair), merged back in enumeration order so the
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from ..parallel.jobs import (
     Invariant,
@@ -163,6 +164,9 @@ class WindowJob:
     trace: bool = True
 
     def __call__(self) -> ScenarioOutcome:
+        return self._execute()[0]
+
+    def _execute(self) -> tuple[ScenarioOutcome, SimulationResult]:
         sim, main = self.factory()
         sim.add_injector(
             CompositeInjector(w.injector() for w in self.windows)
@@ -171,12 +175,43 @@ class WindowJob:
             sim.runtime.trace.enabled = False
         result = sim.run(main, on_deadlock="return")
         violations = check_invariants(self.invariants, result)
-        return ScenarioOutcome(
+        outcome = ScenarioOutcome(
             windows=self.windows,
             hung=result.hung,
             aborted=result.aborted is not None,
             violations=violations,
             result=result if self.keep_results else None,
+        )
+        return outcome, result
+
+    # -- cache contract (see repro/parallel/jobs.py) -------------------
+
+    @property
+    def cacheable(self) -> bool:
+        """A job that must return the full ``SimulationResult`` cannot be
+        served from the cache (traces are never stored)."""
+        return not self.keep_results
+
+    def cache_payload(self) -> tuple[ScenarioOutcome, dict[str, Any]]:
+        from ..analysis.digest import perf_dict, result_digest
+
+        outcome, result = self._execute()
+        return outcome, {
+            "violations": list(outcome.violations),
+            "hung": outcome.hung,
+            "aborted": outcome.aborted,
+            "digest": result_digest(result),
+            "final_time": result.final_time,
+            "perf": perf_dict(result),
+        }
+
+    def from_cached(self, payload: dict[str, Any]) -> ScenarioOutcome:
+        return ScenarioOutcome(
+            windows=self.windows,
+            hung=bool(payload["hung"]),
+            aborted=bool(payload["aborted"]),
+            violations=list(payload["violations"]),
+            result=None,
         )
 
 
@@ -210,6 +245,8 @@ def explore(
     workers: int | None = None,
     runner: SweepRunner | None = None,
     trace: bool = True,
+    cache: Any = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> ExplorationReport:
     """Exhaustively inject a failure at every reachable window.
 
@@ -217,6 +254,16 @@ def explore(
     on *distinct* ranks (double-failure scenarios).  ``max_windows`` caps
     the enumeration for large scenarios (a cap is reported, never silent:
     the report's ``reference_windows`` shows what was considered).
+
+    ``cache`` enables the content-addressed run cache (:mod:`repro.cache`):
+    pass ``True`` for the default directory, a path, or a ``RunCache``.
+    Cached outcomes are reused only when the job's full determinism
+    surface matches; the report is byte-identical either way (only
+    ``keep_results=False`` jobs participate — traces are never cached).
+
+    ``progress`` is called as ``progress(done, total)`` — once up front
+    with ``done=0`` and again as batches of re-runs complete — so long
+    enumerations (``pairs=True`` grows quadratically) report liveness.
 
     ``trace=False`` turns off trace recording in the per-window re-runs
     (the reference run always traces — that is where the windows come
@@ -258,6 +305,32 @@ def explore(
             )
     if runner is None:
         runner = make_runner(workers)
+    if cache is not None and cache is not False:
+        from ..cache import CachedRunner, RunCache
+
+        runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
     return ExplorationReport(
-        reference_windows=windows, outcomes=runner.run(jobs)
+        reference_windows=windows,
+        outcomes=_run_with_progress(runner, jobs, progress),
     )
+
+
+def _run_with_progress(
+    runner: SweepRunner,
+    jobs: list[WindowJob],
+    progress: Callable[[int, int], None] | None,
+) -> list[ScenarioOutcome]:
+    """Run *jobs*, optionally splitting into at most ~16 batches so the
+    *progress* callback fires while work is still in flight.  Results
+    keep submission order either way, so batching never changes the
+    report — only its liveness."""
+    if progress is None:
+        return runner.run(jobs)
+    total = len(jobs)
+    progress(0, total)
+    step = max(1, math.ceil(total / 16))
+    outcomes: list[ScenarioOutcome] = []
+    for i in range(0, total, step):
+        outcomes.extend(runner.run(jobs[i : i + step]))
+        progress(len(outcomes), total)
+    return outcomes

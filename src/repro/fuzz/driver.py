@@ -18,14 +18,13 @@ the recorded digest.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import random
-import struct
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
+from ..analysis.digest import perf_dict, result_digest
 from ..faults.schedule import KillSpec
 from ..parallel.jobs import check_invariants
 from ..parallel.runner import SerialRunner, SweepRunner
@@ -39,43 +38,23 @@ from .config import (
 )
 from .shrink import ShrinkResult, shrink
 
-# ----------------------------------------------------------------------
-# Deterministic result fingerprinting
-# ----------------------------------------------------------------------
-
-
-def perf_dict(result: SimulationResult) -> dict[str, Any]:
-    """The run's perf counters minus ``wall_s`` (host time — the one
-    counter that is *not* deterministic and must never enter a digest
-    or a report that is compared across runs)."""
-    if result.perf is None:
-        return {}
-    d = result.perf.as_dict()
-    d.pop("wall_s", None)
-    return d
-
-
-def result_digest(result: SimulationResult) -> str:
-    """Stable fingerprint of everything deterministic about a run.
-
-    Covers the final virtual time, the full semantic trace (event keys,
-    in order), each rank's terminal state, and the perf counters (minus
-    ``wall_s``).  Two runs of the same config — serial, pooled, or
-    replayed from disk — must produce the same digest; that equality is
-    what ``repro replay`` asserts.
-    """
-    h = hashlib.blake2b(digest_size=16)
-    h.update(struct.pack("<d", result.final_time))
-    for key in result.trace.keys():
-        h.update(repr(key).encode())
-        h.update(b"\x00")
-    for out in result.outcomes:
-        h.update(f"{out.rank}:{out.state}".encode())
-        h.update(b"\x00")
-    for name, value in sorted(perf_dict(result).items()):
-        h.update(f"{name}={value}".encode())
-        h.update(b"\x00")
-    return h.hexdigest()
+# Deterministic result fingerprinting lives in repro.analysis.digest
+# (shared with the sweep cache); perf_dict/result_digest are re-exported
+# here because the replay format and the fuzz API grew up around them.
+__all__ = [
+    "FuzzJob",
+    "FuzzOutcome",
+    "FuzzReport",
+    "ReplayResult",
+    "classify",
+    "fuzz",
+    "load_repro",
+    "perf_dict",
+    "replay",
+    "result_digest",
+    "sample_configs",
+    "write_repro",
+]
 
 
 # ----------------------------------------------------------------------
@@ -142,16 +121,53 @@ class FuzzJob:
     :class:`~repro.parallel.scenarios.StandardRingInvariants`, not a list
     of closures); ``None`` resolves the scenario's default battery inside
     the worker.
+
+    The job implements the :mod:`repro.cache` contract (see
+    ``parallel/jobs.py``): its key covers the full
+    :class:`~repro.fuzz.config.FuzzConfig` — scenario, policy + seed,
+    jitter spec, fault schedule — plus the invariant spec, so any change
+    to the determinism surface is a cache miss.  ``index`` is display
+    bookkeeping, not behaviour, and stays out of the key.
     """
 
     config: FuzzConfig
     index: int = 0
     invariants: Any = None
 
+    #: Fields excluded from the cache key (see repro.cache.keys).
+    _cache_key_exclude = ("index",)
+
     def __call__(self) -> FuzzOutcome:
         result = self.config.run()
         return classify(
             self.config, result, self.invariants, index=self.index
+        )
+
+    # -- cache contract (repro.cache) -----------------------------------
+
+    def cache_payload(self) -> tuple[FuzzOutcome, dict[str, Any]]:
+        """Run and also return the JSON-able cached form of the outcome."""
+        outcome = self()
+        return outcome, {
+            "violations": list(outcome.violations),
+            "hung": outcome.hung,
+            "aborted": outcome.aborted,
+            "digest": outcome.digest,
+            "final_time": outcome.final_time,
+            "perf": dict(outcome.perf),
+        }
+
+    def from_cached(self, payload: dict[str, Any]) -> FuzzOutcome:
+        """Rebuild the exact :class:`FuzzOutcome` a fresh run would give."""
+        return FuzzOutcome(
+            index=self.index,
+            config=self.config,
+            violations=tuple(payload["violations"]),
+            hung=bool(payload["hung"]),
+            aborted=bool(payload["aborted"]),
+            digest=payload["digest"],
+            final_time=payload["final_time"],
+            perf=dict(payload["perf"]),
         )
 
 
@@ -300,6 +316,7 @@ def fuzz(
     seed: int = 0,
     *,
     runner: SweepRunner | None = None,
+    cache: Any = None,
     invariants: Any = None,
     shrink_failures: bool = True,
     max_shrink_attempts: int = 300,
@@ -312,6 +329,13 @@ def fuzz(
     the identical report, just faster), and shrinks every failure in the
     parent.  Extra keyword options are forwarded to
     :func:`sample_configs`.
+
+    ``cache`` (a :class:`repro.cache.RunCache` or a directory path)
+    memoizes each config's classified outcome on disk: re-running an
+    unchanged corpus becomes a warm replay that answers every job from
+    its content-addressed key instead of executing the simulation.  The
+    report is byte-identical with the cache off, cold, or warm.
+    Shrinking always re-executes (it explores *new* configs).
     """
     configs = sample_configs(scenario, runs, seed, **sample_options)
     jobs = [
@@ -319,6 +343,10 @@ def fuzz(
         for i, c in enumerate(configs)
     ]
     runner = runner or SerialRunner()
+    if cache is not None and cache is not False:
+        from ..cache import CachedRunner, RunCache
+
+        runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
     outcomes: list[FuzzOutcome] = runner.run(jobs)
     report = FuzzReport(scenario=scenario, seed=seed, outcomes=outcomes)
     if shrink_failures:

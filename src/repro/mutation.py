@@ -42,6 +42,16 @@ def active(name: str) -> bool:
     return name in _ACTIVE
 
 
+def active_set() -> tuple[str, ...]:
+    """Sorted snapshot of every currently active mutation.
+
+    Part of a run's determinism surface: the sweep cache
+    (:mod:`repro.cache`) folds this into every job key so a mutated
+    build never reuses outcomes recorded by an unmutated one.
+    """
+    return tuple(sorted(_ACTIVE))
+
+
 def activate(name: str) -> None:
     """Switch a mutation on (test-only)."""
     _ACTIVE.add(_check(name))

@@ -22,6 +22,28 @@ here is:
   ``reduce`` function to :class:`SimJob`, or use the campaign/explorer
   jobs which return :class:`~repro.faults.campaign.CampaignRun` /
   :class:`~repro.faults.explorer.ScenarioOutcome` records).
+
+**Cache contract** (opt-in, consumed by :mod:`repro.cache`): a job whose
+classified outcome can be reused across sweeps additionally provides
+
+* ``cache_payload() -> (outcome, payload)`` — execute the job once and
+  return both its normal result and a JSON-able dict capturing the
+  classified outcome (violations, hang/abort flags, result digest, final
+  time, perf counters minus ``wall_s``).  Called *where the trace
+  exists* (worker-side under a pool), so digests are cheap;
+* ``from_cached(payload) -> outcome`` — reconstruct the normal result
+  from a payload that has been through a JSON round-trip.  Must be
+  *exact*: a warm sweep's report is byte-identical to a cold one;
+* optionally ``cacheable`` (property) — ``False`` vetoes caching for a
+  particular instance (e.g. ``keep_results=True``, where the caller
+  needs the full trace-bearing result that the cache never stores);
+* optionally ``_cache_key_exclude`` (class attr) — field names left out
+  of the cache key (display-only fields like a submission index).
+
+The key itself is derived in :mod:`repro.cache.keys` from the job's
+dataclass fields plus version and mutation salts; jobs without the
+contract (e.g. :class:`SimJob`, whose ``reduce`` is an arbitrary
+callable) simply always execute.
 """
 
 from __future__ import annotations

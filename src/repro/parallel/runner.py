@@ -270,6 +270,7 @@ def make_runner(
     timeout: float | None = None,
     retries: int = 1,
     mp_context: str | None = None,
+    cache: Any = None,
 ) -> SweepRunner:
     """Build the right runner for a worker count.
 
@@ -277,13 +278,30 @@ def make_runner(
     :class:`SerialRunner`; anything larger gives a
     :class:`ProcessPoolRunner`.  (Construct :class:`ProcessPoolRunner`
     directly to force a single-worker pool.)
+
+    ``cache`` (``True`` for the default directory, a path, or a
+    ``repro.cache.RunCache``) wraps either runner in a
+    ``repro.cache.CachedRunner``: jobs implementing the cache contract
+    (see :mod:`repro.parallel.jobs`) are answered from the
+    content-addressed store, everything else executes as usual.  Serial
+    and pooled runners share the same store and the same
+    submission-order merge, so a cached sweep's report is byte-identical
+    to an uncached one.
     """
+    runner: SweepRunner
     if workers is None or workers <= 1:
-        return SerialRunner()
-    return ProcessPoolRunner(
-        workers=workers,
-        chunk_size=chunk_size,
-        timeout=timeout,
-        retries=retries,
-        mp_context=mp_context,
-    )
+        runner = SerialRunner()
+    else:
+        runner = ProcessPoolRunner(
+            workers=workers,
+            chunk_size=chunk_size,
+            timeout=timeout,
+            retries=retries,
+            mp_context=mp_context,
+        )
+    if cache is not None and cache is not False:
+        # Imported lazily: repro.cache.runner imports this module.
+        from ..cache import CachedRunner, RunCache
+
+        runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
+    return runner

@@ -25,6 +25,8 @@ from pathlib import Path
 from typing import Any, Iterable
 
 __all__ = [
+    "CACHE",
+    "CacheCounters",
     "PerfCounters",
     "SESSION",
     "SeriesDelta",
@@ -120,6 +122,74 @@ class PerfCounters:
 #: session (counters do not cross the pool boundary); benchmark counter
 #: blocks therefore reflect serial runs, which is the default.
 SESSION = PerfCounters()
+
+
+class CacheCounters:
+    """Run-cache accounting (see :mod:`repro.cache`): hits, misses, stale
+    entries, and stores, accumulated process-wide like :data:`SESSION`.
+
+    Deliberately **separate** from :class:`PerfCounters`: per-simulation
+    counters enter result digests and ``.repro.json`` expect blocks, so
+    adding slots there would silently change every recorded fingerprint.
+    Cache traffic is a property of the sweep harness, not of any one
+    simulation, and must never leak into a deterministic report.
+
+    Unlike the kernel counters, these are accurate for pooled sweeps
+    too: :class:`repro.cache.CachedRunner` performs every lookup and
+    store in the submitting process, so nothing is lost at the pool
+    boundary.
+    """
+
+    __slots__ = ("hits", "misses", "stale", "stores")
+
+    def __init__(self) -> None:
+        #: Jobs answered from the cache without executing a simulation.
+        self.hits = 0
+        #: Cacheable jobs whose key had no stored entry.
+        self.misses = 0
+        #: Entries present but unusable (corrupt file, format drift,
+        #: payload that failed reconstruction) — re-executed like misses.
+        self.stale = 0
+        #: Fresh outcomes written back to the store.
+        self.stores = 0
+
+    def add(self, other: "CacheCounters") -> None:
+        """Fold *other* into this accumulator."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (JSON reports, assertions)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def snapshot(self) -> "CacheCounters":
+        """An independent copy (delta bookkeeping in harnesses)."""
+        out = CacheCounters()
+        out.add(self)
+        return out
+
+    def delta(self, since: "CacheCounters") -> dict[str, int]:
+        """``self - since`` as a dict."""
+        return {
+            name: getattr(self, name) - getattr(since, name)
+            for name in self.__slots__
+        }
+
+    def format(self) -> str:
+        """One-line human summary (``repro`` CLI stderr reporting)."""
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"stale={self.stale} stores={self.stores}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"CacheCounters({inner})"
+
+
+#: Process-wide cache accumulator (lookups/stores happen parent-side, so
+#: this is exact even for pooled sweeps).
+CACHE = CacheCounters()
 
 
 # ----------------------------------------------------------------------
