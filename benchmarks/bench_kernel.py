@@ -166,9 +166,15 @@ def bench_kernel_trace_overhead(benchmark):
     def run() -> None:
         for label, enabled in (("on", True), ("off", False)):
             t0 = time.perf_counter()
-            r = Simulation(nprocs=2, trace_enabled=enabled).run(_ping)
+            sim = Simulation(nprocs=2, trace_enabled=enabled)
+            r = sim.run(_ping)
             stats[label] = time.perf_counter() - t0
             assert (len(r.trace) > 0) == enabled
+            # Observability is strictly opt-in: without metrics=True the
+            # kernel must allocate no obs state at all (regardless of
+            # the trace switch).
+            assert sim.runtime.obs is None
+            assert r.metrics is None
 
     timed(benchmark, run)
     ratio = stats["on"] / stats["off"] if stats["off"] else float("inf")

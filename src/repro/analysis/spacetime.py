@@ -109,23 +109,24 @@ def render_spacetime(
     ]
     lines.append("-" * (opt.time_width + width * len(cols)))
 
-    count = 0
-    truncated = 0
-    for ev in trace:
-        if ev.kind not in opt.kinds:
-            continue
-        if not opt.include_am and ev.detail.get("am"):
-            continue
-        if ev.rank not in col_of:
-            continue
-        if opt.max_lines is not None and count >= opt.max_lines:
-            truncated += 1
-            continue
-        count += 1
+    # Select every renderable event up front (one multi-kind filter pass)
+    # so the truncation line counts exactly what was cut: events dropped
+    # by the kind/AM/rank filters are not "more events", and the cap no
+    # longer forces a full iterate-only-to-count tail walk.
+    renderable = trace.filter(
+        kind=opt.kinds,
+        predicate=lambda ev: (
+            (opt.include_am or not ev.detail.get("am"))
+            and ev.rank in col_of
+        ),
+    )
+    shown = renderable if opt.max_lines is None else renderable[:opt.max_lines]
+    for ev in shown:
         cells = [" " * width] * len(cols)
         cells[col_of[ev.rank]] = _label(ev)[:width - 1].ljust(width)
         t = f"{ev.time * opt.time_scale:.3f}"
         lines.append(t.ljust(opt.time_width) + "".join(cells).rstrip())
+    truncated = len(renderable) - len(shown)
     if truncated:
         lines.append(f"... ({truncated} more events)")
     return "\n".join(lines)

@@ -124,8 +124,12 @@ def job_key(job: Any) -> str | None:
         return None
     if not getattr(job, "cacheable", True):
         return None
+    # A wrapper job (e.g. repro.obs.telemetry.TelemetryJob) may nominate
+    # the job it wraps as its key identity: the wrapper adds bookkeeping,
+    # not behaviour, so wrapped and bare runs share cache entries.
+    target = getattr(job, "cache_key_delegate", job)
     try:
-        token = canonical_token(job)
+        token = canonical_token(target)
     except Uncacheable:
         return None
     h = hashlib.blake2b(digest_size=20)

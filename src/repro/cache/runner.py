@@ -95,9 +95,18 @@ class CachedRunner(SweepRunner):
             else:
                 perf.CACHE.misses += 1
             pending.append((i, key, _MissJob(job)))
+        self.job_retries = [0] * len(jobs)
         if pending:
             executed = self.inner.run([job for _i, _k, job in pending])
-            for (i, key, wrapped), value in zip(pending, executed):
+            # Map the inner runner's per-job retry counts (indexed by its
+            # own submission order) back onto the full job list; cache
+            # hits never executed, so they keep zero retries.
+            inner_retries = getattr(self.inner, "job_retries", None)
+            for j, ((i, key, wrapped), value) in enumerate(
+                zip(pending, executed)
+            ):
+                if inner_retries is not None and j < len(inner_retries):
+                    self.job_retries[i] = inner_retries[j]
                 if key is None:
                     results[i] = value
                     continue

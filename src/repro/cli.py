@@ -33,6 +33,18 @@ Subcommands
     Re-run saved ``.repro.json`` reproducers and verify each reproduces
     its recorded violations and trace digest byte-for-byte.
 
+``trace``
+    Run a named scenario preset (``fig2``/``fig6``/… mirror the paper's
+    figures) and export its trace: Chrome Trace Event JSON for
+    https://ui.perfetto.dev, a stable JSONL stream that loads back into
+    a :class:`~repro.simmpi.trace.Trace`, or the ASCII space-time view.
+
+``report``
+    Aggregate a ``--telemetry`` JSONL stream offline: outcome histogram,
+    wall-time percentiles, slowest jobs, worker utilization, cache hit
+    rate.  ``--canon`` prints the canonical lines CI diffs between
+    serial and pooled runs.
+
 ``cache``
     Inspect and maintain the content-addressed run cache
     (``stats`` / ``gc`` / ``verify``).  The sweep subcommands
@@ -51,6 +63,9 @@ Examples::
     python -m repro replay repros/fuzz-1-0007.repro.json
     python -m repro explore --cache --cache-dir .repro-cache --progress
     python -m repro cache verify --sample 10
+    python -m repro trace fig6 --format perfetto -o fig6.json --validate
+    python -m repro campaign --runs 200 --telemetry tel.jsonl
+    python -m repro report tel.jsonl
 """
 
 from __future__ import annotations
@@ -157,11 +172,41 @@ def _common_sim(args: argparse.Namespace, nprocs: int) -> Simulation:
         nprocs=nprocs,
         seed=args.seed,
         detection_latency=args.detection_latency,
+        trace_cap=getattr(args, "trace_cap", None),
     )
     sched = _schedule_from(args)
     if len(sched):
         sim.add_injector(sched.injector())
     return sim
+
+
+def _add_trace_args(
+    p: argparse.ArgumentParser, *, spacetime: bool = True
+) -> None:
+    """Post-run trace views shared by the scenario subcommands."""
+    if spacetime:
+        p.add_argument("--spacetime", action="store_true",
+                       help="print a space-time diagram of the run")
+    p.add_argument("--failure-story", action="store_true",
+                   help="print only the failure-relevant events "
+                        "(injections, detections, errors, validation)")
+    p.add_argument("--trace-cap", type=int, default=None, metavar="N",
+                   help="keep only the last N trace events (ring buffer); "
+                        "bounds memory on long runs")
+
+
+def _print_trace_views(
+    args: argparse.Namespace, result, nprocs: int
+) -> None:
+    """Render the views requested via :func:`_add_trace_args`."""
+    if getattr(args, "spacetime", False):
+        print()
+        print(render_spacetime(result.trace, nprocs))
+    if getattr(args, "failure_story", False):
+        from .analysis import failure_story
+
+        print()
+        print(failure_story(result.trace, nprocs))
 
 
 def cmd_ring(args: argparse.Namespace) -> int:
@@ -193,9 +238,7 @@ def cmd_ring(args: argparse.Namespace) -> int:
         print("\nblocked processes:")
         for rank, why in result.deadlock.blocked:
             print(f"  rank {rank}: {why}")
-    if args.spacetime:
-        print()
-        print(render_spacetime(result.trace, args.nprocs))
+    _print_trace_views(args, result, args.nprocs)
     return 2 if s["hung"] else 0
 
 
@@ -230,6 +273,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=_cache_arg(args),
         progress=progress,
+        telemetry=args.telemetry,
     )
     print(rep.format())
     _report_cache(args, before)
@@ -252,6 +296,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         ),
         workers=args.workers,
         cache=_cache_arg(args),
+        telemetry=args.telemetry,
     )
     print(rep.format())
     _report_cache(args, before)
@@ -268,6 +313,7 @@ def cmd_heat(args: argparse.Namespace) -> int:
         rep = result.value(i)
         print(f"rank {i}: total heat {rep['total_heat']:.4f}, "
               f"halo retries {rep['halo_retries']}")
+    _print_trace_views(args, result, args.nprocs)
     return 2 if result.hung else 0
 
 
@@ -277,15 +323,18 @@ def cmd_farm(args: argparse.Namespace) -> int:
     result = sim.run(make_farm_mains(cfg, args.nprocs), on_deadlock="return")
     if result.hung:
         print("HANG")
+        _print_trace_views(args, result, args.nprocs)
         return 2
     if result.aborted is not None:
         print(f"aborted: {result.aborted}")
+        _print_trace_views(args, result, args.nprocs)
         return 3
     rep = result.value(0)
     ok = rep["results"] == expected_results(cfg)
     print(f"tasks complete & correct: {ok}")
     print(f"dead workers: {rep['dead_workers']}  "
           f"reassignments: {rep['reassignments']}")
+    _print_trace_views(args, result, args.nprocs)
     return 0 if ok else 1
 
 
@@ -370,6 +419,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         min_kills=args.min_kills,
         max_kills=args.max_kills,
         horizon=args.horizon,
+        telemetry=args.telemetry,
     )
     print(report.format(verbose=args.verbose))
     _report_cache(args, before)
@@ -435,12 +485,98 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a named scenario and export its trace for offline viewing."""
+    from .obs import (
+        dumps_perfetto,
+        jsonl_errors,
+        make_scenario,
+        perfetto_errors,
+        run_report,
+        trace_to_jsonl,
+        trace_to_perfetto,
+    )
+
+    sim, main, nprocs = make_scenario(
+        args.preset, metrics=True, trace_cap=args.trace_cap
+    )
+    result = sim.run(main, on_deadlock="return", raise_app_errors=False)
+
+    if args.format == "spacetime":
+        text = render_spacetime(result.trace, nprocs)
+    elif args.format == "jsonl":
+        text = trace_to_jsonl(result.trace, nprocs)
+        if args.validate:
+            errors = jsonl_errors(text)
+            if errors:
+                for e in errors:
+                    print(f"[trace] INVALID: {e}", file=sys.stderr)
+                return 1
+            print("[trace] jsonl export valid", file=sys.stderr)
+    else:  # perfetto
+        doc = trace_to_perfetto(result.trace, nprocs, metrics=result.metrics)
+        text = dumps_perfetto(doc)
+        if args.validate:
+            errors = perfetto_errors(doc)
+            if errors:
+                for e in errors:
+                    print(f"[trace] INVALID: {e}", file=sys.stderr)
+                return 1
+            print(
+                f"[trace] perfetto export valid "
+                f"({len(doc['traceEvents'])} events)",
+                file=sys.stderr,
+            )
+
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    if args.summary:
+        print(run_report(result, nprocs=nprocs).format(), file=sys.stderr)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate a sweep telemetry file without re-running anything."""
+    from .obs import (
+        canonical_lines,
+        read_telemetry,
+        summarize,
+        telemetry_errors,
+    )
+
+    worst = 0
+    for path in args.files:
+        errors = telemetry_errors(path)
+        if errors:
+            print(f"== {path}: INVALID", file=sys.stderr)
+            for e in errors:
+                print(f"  - {e}", file=sys.stderr)
+            worst = 1
+            continue
+        if args.canon:
+            # Determinism view: volatile fields dropped, lines sorted —
+            # byte-diffable between serial and pooled runs of one sweep.
+            for line in canonical_lines(path):
+                print(line)
+            continue
+        if len(args.files) > 1:
+            print(f"== {path}")
+        print(summarize(read_telemetry(path), top=args.top).format())
+    return worst
+
+
 def cmd_abft(args: argparse.Namespace) -> int:
     cfg = AbftConfig(iterations=args.iters)
     sim = _common_sim(args, args.nprocs)
     result = sim.run(make_abft_main(cfg), on_deadlock="return")
     if result.hung:
         print("HANG")
+        _print_trace_views(args, result, args.nprocs)
         return 2
     rep = result.value(min(result.completed_ranks))
     print(f"failed ranks: {sorted(result.failed_ranks)}")
@@ -449,6 +585,7 @@ def cmd_abft(args: argparse.Namespace) -> int:
     for rec in rep["results"]:
         print(f"iteration {rec['iteration']}: blocks "
               f"{sorted(rec['blocks'])} recovered {rec['recovered']}")
+    _print_trace_views(args, result, args.nprocs)
     return 1 if rep["degraded"] else 0
 
 
@@ -477,8 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=[t.value for t in Termination])
     ring.add_argument("--rootft", action="store_true",
                       help="use the §III-D root-failure-tolerant driver")
-    ring.add_argument("--spacetime", action="store_true",
-                      help="print a space-time diagram of the run")
+    _add_trace_args(ring)
     ring.set_defaults(fn=cmd_ring)
 
     ex = sub.add_parser("explore", help="exhaustive failure-window sweep")
@@ -500,6 +636,9 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--progress", action="store_true",
                     help="report sweep liveness on stderr as batches "
                          "complete")
+    ex.add_argument("--telemetry", default=None, metavar="FILE",
+                    help="stream per-job telemetry (JSONL) to FILE; "
+                         "aggregate later with `repro report FILE`")
     _add_cache_args(ex)
     ex.set_defaults(fn=cmd_explore)
 
@@ -525,6 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--workers", type=int, default=None,
                       help="fan the runs over N worker processes "
                            "(default: serial; the report is identical)")
+    camp.add_argument("--telemetry", default=None, metavar="FILE",
+                      help="stream per-job telemetry (JSONL) to FILE; "
+                           "aggregate later with `repro report FILE`")
     _add_cache_args(camp)
     camp.set_defaults(fn=cmd_campaign)
 
@@ -532,16 +674,19 @@ def build_parser() -> argparse.ArgumentParser:
     common(heat, 6)
     heat.add_argument("--cells", type=int, default=8)
     heat.add_argument("--steps", type=int, default=20)
+    _add_trace_args(heat)
     heat.set_defaults(fn=cmd_heat)
 
     farm = sub.add_parser("farm", help="manager/worker task farm")
     common(farm, 5)
     farm.add_argument("--tasks", type=int, default=20)
+    _add_trace_args(farm)
     farm.set_defaults(fn=cmd_farm)
 
     abft = sub.add_parser("abft", help="ABFT parity-recovered matvec")
     common(abft, 5)
     abft.add_argument("--iters", type=int, default=5)
+    _add_trace_args(abft)
     abft.set_defaults(fn=cmd_abft)
 
     perf = sub.add_parser(
@@ -607,6 +752,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a .repro.json per failure into DIR")
     fz.add_argument("--verbose", action="store_true",
                     help="list every outcome, not just failures")
+    fz.add_argument("--telemetry", default=None, metavar="FILE",
+                    help="stream per-job telemetry (JSONL) to FILE; "
+                         "aggregate later with `repro report FILE`")
     _add_cache_args(fz)
     fz.set_defaults(fn=cmd_fuzz)
 
@@ -635,6 +783,44 @@ def build_parser() -> argparse.ArgumentParser:
     cave.add_argument("--seed", type=int, default=0,
                       help="sampling seed (default: 0)")
     cave.set_defaults(fn=cmd_cache)
+
+    tr = sub.add_parser(
+        "trace",
+        help="run a named scenario and export its trace "
+             "(Perfetto JSON / JSONL / spacetime)",
+    )
+    from .obs.scenarios import SCENARIOS
+
+    tr.add_argument("preset", choices=list(SCENARIOS),
+                    help="scenario preset (fig* presets mirror the paper's "
+                         "figures)")
+    tr.add_argument("--format", default="perfetto",
+                    choices=["perfetto", "jsonl", "spacetime"],
+                    help="export format (default: perfetto — open the file "
+                         "at https://ui.perfetto.dev)")
+    tr.add_argument("-o", "--output", default=None, metavar="FILE",
+                    help="write to FILE instead of stdout")
+    tr.add_argument("--trace-cap", type=int, default=None, metavar="N",
+                    help="keep only the last N trace events (ring buffer)")
+    tr.add_argument("--validate", action="store_true",
+                    help="schema-validate the export before writing "
+                         "(non-zero exit on any violation)")
+    tr.add_argument("--summary", action="store_true",
+                    help="also print the per-rank run report on stderr")
+    tr.set_defaults(fn=cmd_trace)
+
+    rep = sub.add_parser(
+        "report", help="aggregate sweep telemetry JSONL (no re-running)"
+    )
+    rep.add_argument("files", nargs="+", metavar="TELEMETRY",
+                     help="telemetry JSONL file(s) written via --telemetry")
+    rep.add_argument("--top", type=int, default=5,
+                     help="how many slowest jobs to list (default: 5)")
+    rep.add_argument("--canon", action="store_true",
+                     help="print the canonical (volatile-free, sorted) "
+                          "lines instead of a summary — byte-diffable "
+                          "between serial and pooled runs")
+    rep.set_defaults(fn=cmd_report)
 
     rp = sub.add_parser(
         "replay", help="re-run saved .repro.json reproducers and verify"

@@ -179,6 +179,7 @@ def run_campaign(
     workers: int | None = None,
     runner: SweepRunner | None = None,
     cache: Any = None,
+    telemetry: str | None = None,
 ) -> CampaignReport:
     """Sample ``len(seeds)`` runs, each killing ``kills_per_run`` distinct
     ranks at uniform-random virtual times in ``[0, horizon)``.
@@ -197,6 +198,11 @@ def run_campaign(
     ``True`` for the default directory, a path, or a ``RunCache``.  A
     warm campaign replays classified outcomes without executing the
     simulations; the report is byte-identical to a cold or uncached one.
+
+    ``telemetry`` names a JSONL file that receives one line per run —
+    wall time, outcome class, worker id, retries, cache disposition
+    (see :mod:`repro.obs.telemetry`); its canonical form is identical
+    between serial and pooled campaigns.
     """
     jobs = [
         CampaignJob(
@@ -218,4 +224,14 @@ def run_campaign(
         from ..cache import CachedRunner, RunCache
 
         runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
+    if telemetry:
+        from ..obs.telemetry import TelemetryWriter, run_recorded
+
+        writer = TelemetryWriter(
+            telemetry, kind="campaign", total=len(jobs), workers=workers
+        )
+        try:
+            return CampaignReport(runs=run_recorded(runner, jobs, writer))
+        finally:
+            writer.close()
     return CampaignReport(runs=runner.run(jobs))

@@ -247,6 +247,7 @@ def explore(
     trace: bool = True,
     cache: Any = None,
     progress: Callable[[int, int], None] | None = None,
+    telemetry: str | None = None,
 ) -> ExplorationReport:
     """Exhaustively inject a failure at every reachable window.
 
@@ -264,6 +265,11 @@ def explore(
     ``progress`` is called as ``progress(done, total)`` — once up front
     with ``done=0`` and again as batches of re-runs complete — so long
     enumerations (``pairs=True`` grows quadratically) report liveness.
+
+    ``telemetry`` names a JSONL file to stream per-job telemetry into
+    (see :mod:`repro.obs.telemetry`): start/end, wall time, outcome
+    class, worker id, retries, cache disposition.  The canonical form of
+    the stream is identical between serial and pooled runs.
 
     ``trace=False`` turns off trace recording in the per-window re-runs
     (the reference run always traces — that is where the windows come
@@ -309,9 +315,21 @@ def explore(
         from ..cache import CachedRunner, RunCache
 
         runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
+    writer = None
+    if telemetry:
+        from ..obs.telemetry import TelemetryWriter
+
+        writer = TelemetryWriter(
+            telemetry, kind="explore", total=len(jobs), workers=workers
+        )
+    try:
+        outcomes = _run_with_progress(runner, jobs, progress, writer)
+    finally:
+        if writer is not None:
+            writer.close()
     return ExplorationReport(
         reference_windows=windows,
-        outcomes=_run_with_progress(runner, jobs, progress),
+        outcomes=outcomes,
     )
 
 
@@ -319,18 +337,32 @@ def _run_with_progress(
     runner: SweepRunner,
     jobs: list[WindowJob],
     progress: Callable[[int, int], None] | None,
+    writer: Any = None,
 ) -> list[ScenarioOutcome]:
     """Run *jobs*, optionally splitting into at most ~16 batches so the
     *progress* callback fires while work is still in flight.  Results
     keep submission order either way, so batching never changes the
-    report — only its liveness."""
-    if progress is None:
+    report — only its liveness.  ``writer`` (a
+    :class:`repro.obs.telemetry.TelemetryWriter`) records per-job
+    telemetry with sweep-global indices, batched or not."""
+    if progress is None and writer is None:
         return runner.run(jobs)
     total = len(jobs)
-    progress(0, total)
-    step = max(1, math.ceil(total / 16))
+    if progress is not None:
+        progress(0, total)
+    step = total if progress is None else max(1, math.ceil(total / 16))
     outcomes: list[ScenarioOutcome] = []
-    for i in range(0, total, step):
-        outcomes.extend(runner.run(jobs[i : i + step]))
-        progress(len(outcomes), total)
+    for i in range(0, max(total, 1), max(step, 1)):
+        batch = jobs[i : i + step]
+        if not batch:
+            break
+        if writer is not None:
+            wrapped = runner.run(writer.wrap(batch, start=i))
+            outcomes.extend(writer.record(
+                wrapped, retries=getattr(runner, "job_retries", None)
+            ))
+        else:
+            outcomes.extend(runner.run(batch))
+        if progress is not None:
+            progress(len(outcomes), total)
     return outcomes

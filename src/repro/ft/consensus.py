@@ -185,6 +185,11 @@ class ConsensusEngine:
 
     def _enter_round(self, inst: _Instance, r: int, time: float) -> None:
         inst.round = r
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.consensus_round(
+                inst.owner, (inst.cid, inst.instance), r, time
+            )
         payload = _RoundMsg(
             kind="round",
             cid=inst.cid,
@@ -251,6 +256,11 @@ class ConsensusEngine:
             op="all_decide", comm=comm.name, instance=inst.instance,
             decision=sorted(decision), how=how, round=inst.round,
         )
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.consensus_decided(
+                inst.owner, (inst.cid, inst.instance), time, how, inst.round
+            )
         inst.request.complete(
             time,
             data=decision,

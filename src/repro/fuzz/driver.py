@@ -320,6 +320,7 @@ def fuzz(
     invariants: Any = None,
     shrink_failures: bool = True,
     max_shrink_attempts: int = 300,
+    telemetry: str | None = None,
     **sample_options: Any,
 ) -> FuzzReport:
     """Run one seeded fuzz campaign end to end.
@@ -336,6 +337,11 @@ def fuzz(
     its content-addressed key instead of executing the simulation.  The
     report is byte-identical with the cache off, cold, or warm.
     Shrinking always re-executes (it explores *new* configs).
+
+    ``telemetry`` names a JSONL file that receives one line per sampled
+    run (wall time, outcome class, worker id, retries, cache
+    disposition — see :mod:`repro.obs.telemetry`).  Shrink re-runs are
+    not part of the stream: they explore configs outside the corpus.
     """
     configs = sample_configs(scenario, runs, seed, **sample_options)
     jobs = [
@@ -347,7 +353,18 @@ def fuzz(
         from ..cache import CachedRunner, RunCache
 
         runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
-    outcomes: list[FuzzOutcome] = runner.run(jobs)
+    if telemetry:
+        from ..obs.telemetry import TelemetryWriter, run_recorded
+
+        writer = TelemetryWriter(
+            telemetry, kind="fuzz", total=len(jobs), workers=None
+        )
+        try:
+            outcomes = run_recorded(runner, jobs, writer)
+        finally:
+            writer.close()
+    else:
+        outcomes = runner.run(jobs)
     report = FuzzReport(scenario=scenario, seed=seed, outcomes=outcomes)
     if shrink_failures:
         report.shrunk = [

@@ -1,0 +1,76 @@
+"""Observability: trace export, metrics timelines, sweep telemetry.
+
+Three layers over the deterministic kernel (see ``docs/observability.md``):
+
+* :mod:`repro.obs.export` — Chrome Trace Event (Perfetto) and JSONL
+  trace exporters with validators and an exact round-trip loader;
+* :mod:`repro.obs.metrics` — :class:`KernelMetrics` (per-rank time
+  series sampled by kernel hooks behind ``if obs is not None:`` guards)
+  and :func:`run_report` (per-rank busy/blocked/failed accounting,
+  detection and validate latencies);
+* :mod:`repro.obs.telemetry` — per-job JSONL telemetry for sweeps
+  (explore/campaign/fuzz), canonically serial==pooled, aggregated
+  offline by ``repro report``.
+
+Everything here is opt-in: a simulation without ``metrics=True`` and a
+sweep without ``telemetry=`` allocate no obs state at all.
+"""
+
+from .export import (
+    JSONL_FORMAT,
+    dumps_perfetto,
+    jsonl_errors,
+    load_trace_jsonl,
+    perfetto_errors,
+    trace_to_jsonl,
+    trace_to_perfetto,
+    write_perfetto,
+    write_trace_jsonl,
+)
+from .metrics import KernelMetrics, RankSummary, RunReport, Series, run_report
+from .scenarios import SCENARIOS, make_scenario
+from .telemetry import (
+    TELEMETRY_FORMAT,
+    TelemetryJob,
+    TelemetryResult,
+    TelemetrySummary,
+    TelemetryWriter,
+    VOLATILE_KEYS,
+    canonical_lines,
+    outcome_class,
+    read_telemetry,
+    run_recorded,
+    summarize,
+    telemetry_errors,
+)
+
+__all__ = [
+    "JSONL_FORMAT",
+    "KernelMetrics",
+    "RankSummary",
+    "RunReport",
+    "SCENARIOS",
+    "Series",
+    "TELEMETRY_FORMAT",
+    "TelemetryJob",
+    "TelemetryResult",
+    "TelemetrySummary",
+    "TelemetryWriter",
+    "VOLATILE_KEYS",
+    "canonical_lines",
+    "dumps_perfetto",
+    "jsonl_errors",
+    "load_trace_jsonl",
+    "make_scenario",
+    "outcome_class",
+    "perfetto_errors",
+    "read_telemetry",
+    "run_recorded",
+    "run_report",
+    "summarize",
+    "telemetry_errors",
+    "trace_to_jsonl",
+    "trace_to_perfetto",
+    "write_perfetto",
+    "write_trace_jsonl",
+]

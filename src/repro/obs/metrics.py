@@ -1,0 +1,364 @@
+"""Per-rank metrics timelines and the :class:`RunReport` summary.
+
+Two sources feed the metrics layer:
+
+* **Kernel hooks** — a :class:`KernelMetrics` object attached to
+  ``Runtime.obs`` (``None`` unless the simulation was built with
+  ``metrics=True``).  The kernel's hot paths guard every hook with
+  ``if obs is not None:`` — the same zero-cost-when-disabled discipline
+  the trace uses — so a plain run allocates *no* obs state at all.
+  Hooks sample what the trace cannot reconstruct: event-queue depth at
+  each executed event, posted/unexpected matching-queue depths,
+  in-flight message count, the blocked-fiber count with per-rank blocked
+  intervals, and consensus round timings.
+* **The trace** — :func:`run_report` derives per-rank busy/blocked/
+  failed time and detection/validate latencies from a finished
+  :class:`~repro.simmpi.runtime.SimulationResult`, with or without
+  kernel metrics (blocked time falls back to the recv-wait intervals
+  recorded in the trace when no :class:`KernelMetrics` is present).
+
+Nothing in this module imports the kernel, so ``repro.simmpi.runtime``
+can lazily instantiate :class:`KernelMetrics` without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["KernelMetrics", "RankSummary", "RunReport", "Series", "run_report"]
+
+
+class Series:
+    """One named time series: parallel ``times``/``values`` lists."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> float | None:
+        return self.values[-1] if self.values else None
+
+    def maximum(self) -> float | None:
+        return max(self.values) if self.values else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Series({self.name!r}, n={len(self.times)})"
+
+
+class KernelMetrics:
+    """Kernel-side metric accumulator (``Runtime.obs``).
+
+    Every method is a hot-path hook; keep them allocation-light.  The
+    kernel only calls them behind an ``if obs is not None:`` guard, so a
+    run without ``metrics=True`` pays a single attribute read per guard.
+    """
+
+    __slots__ = (
+        "nprocs",
+        "event_queue",
+        "in_flight",
+        "blocked",
+        "posted",
+        "unexpected",
+        "blocked_intervals",
+        "_blocked_since",
+        "_in_flight_now",
+        "_blocked_now",
+        "_consensus_open",
+        "consensus_rounds",
+    )
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        #: Global event-queue depth, sampled at each executed event.
+        self.event_queue = Series("event_queue")
+        #: Messages injected but not yet delivered/dropped.
+        self.in_flight = Series("in_flight")
+        #: Number of blocked fibers over time.
+        self.blocked = Series("blocked_fibers")
+        #: Per-rank posted-receive queue depth.
+        self.posted = [Series(f"posted_r{r}") for r in range(nprocs)]
+        #: Per-rank unexpected-message queue depth.
+        self.unexpected = [Series(f"unexpected_r{r}") for r in range(nprocs)]
+        #: Per-rank closed blocked intervals as (start, end) pairs.
+        self.blocked_intervals: list[list[tuple[float, float]]] = [
+            [] for _ in range(nprocs)
+        ]
+        #: Open blocked interval start per rank (None when runnable).
+        self._blocked_since: list[float | None] = [None] * nprocs
+        self._in_flight_now = 0
+        self._blocked_now = 0
+        #: (rank, key) -> (first-round entry time, rounds entered).
+        self._consensus_open: dict[tuple[int, Any], tuple[float, int]] = {}
+        #: Closed consensus instances: (rank, start, duration, rounds, how).
+        self.consensus_rounds: list[tuple[int, float, float, int, str]] = []
+
+    # -- kernel hooks ------------------------------------------------------
+
+    def event_executed(self, time: float, depth: int) -> None:
+        self.event_queue.append(time, depth)
+
+    def message_posted(self, time: float) -> None:
+        self._in_flight_now += 1
+        self.in_flight.append(time, self._in_flight_now)
+
+    def message_done(self, time: float) -> None:
+        self._in_flight_now -= 1
+        self.in_flight.append(time, self._in_flight_now)
+
+    def queue_sample(
+        self, rank: int, time: float, posted: int, unexpected: int
+    ) -> None:
+        self.posted[rank].append(time, posted)
+        self.unexpected[rank].append(time, unexpected)
+
+    def fiber_blocked(self, rank: int, time: float) -> None:
+        if self._blocked_since[rank] is None:
+            self._blocked_since[rank] = time
+            self._blocked_now += 1
+            self.blocked.append(time, self._blocked_now)
+
+    def fiber_woken(self, rank: int, time: float) -> None:
+        since = self._blocked_since[rank]
+        if since is not None:
+            self._blocked_since[rank] = None
+            self.blocked_intervals[rank].append((since, time))
+            self._blocked_now -= 1
+            self.blocked.append(time, self._blocked_now)
+
+    def consensus_round(
+        self, rank: int, key: Any, round_no: int, time: float
+    ) -> None:
+        k = (rank, key)
+        start, _rounds = self._consensus_open.get(k, (time, 0))
+        self._consensus_open[k] = (start, round_no)
+
+    def consensus_decided(
+        self, rank: int, key: Any, time: float, how: str, round_no: int
+    ) -> None:
+        k = (rank, key)
+        start, rounds = self._consensus_open.pop(k, (time, round_no))
+        self.consensus_rounds.append(
+            (rank, start, time - start, max(rounds, round_no), how)
+        )
+
+    # -- post-run views ----------------------------------------------------
+
+    def blocked_time(self, rank: int, *, until: float) -> float:
+        """Total blocked virtual time of *rank*, closing any open interval
+        at *until* (deadlocked or killed-while-blocked fibers never wake)."""
+        total = sum(e - s for s, e in self.blocked_intervals[rank])
+        since = self._blocked_since[rank]
+        if since is not None and until > since:
+            total += until - since
+        return total
+
+    def counter_series(self) -> list[Series]:
+        """Every series, flat — the Perfetto exporter's counter source."""
+        return (
+            [self.event_queue, self.in_flight, self.blocked]
+            + self.posted
+            + self.unexpected
+        )
+
+
+# ----------------------------------------------------------------------
+# RunReport: the per-rank summary
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RankSummary:
+    """Busy/blocked/failed accounting for one rank."""
+
+    rank: int
+    state: str
+    busy_s: float
+    blocked_s: float
+    failed_s: float
+
+
+@dataclass
+class RunReport:
+    """Per-rank timing breakdown plus protocol latencies of one run."""
+
+    nprocs: int
+    final_time: float
+    ranks: list[RankSummary]
+    #: (observer rank, failed rank, latency) per DETECT event.
+    detection_latencies: list[tuple[int, int, float]] = field(
+        default_factory=list
+    )
+    #: (rank, instance, latency) per completed collective validate.
+    validate_latencies: list[tuple[int, Any, float]] = field(
+        default_factory=list
+    )
+    #: (rank, start, duration, rounds, how) per decided consensus
+    #: instance (kernel metrics only; empty without ``metrics=True``).
+    consensus: list[tuple[int, float, float, int, str]] = field(
+        default_factory=list
+    )
+
+    def format(self) -> str:
+        lines = [
+            f"run report: {self.nprocs} rank(s), "
+            f"final virtual time {self.final_time * 1e6:.3f} us"
+        ]
+        lines.append(
+            f"{'rank':>4}  {'state':<8} {'busy(us)':>10} "
+            f"{'blocked(us)':>12} {'failed(us)':>11}"
+        )
+        for r in self.ranks:
+            lines.append(
+                f"{r.rank:>4}  {r.state:<8} {r.busy_s * 1e6:>10.3f} "
+                f"{r.blocked_s * 1e6:>12.3f} {r.failed_s * 1e6:>11.3f}"
+            )
+        if self.detection_latencies:
+            worst = max(lat for _o, _f, lat in self.detection_latencies)
+            lines.append(
+                f"detections: {len(self.detection_latencies)} "
+                f"(max latency {worst * 1e6:.3f} us)"
+            )
+        if self.validate_latencies:
+            worst = max(lat for _r, _i, lat in self.validate_latencies)
+            lines.append(
+                f"validates: {len(self.validate_latencies)} "
+                f"(max latency {worst * 1e6:.3f} us)"
+            )
+        if self.consensus:
+            worst = max(dur for _r, _s, dur, _n, _h in self.consensus)
+            rounds = max(n for _r, _s, _d, n, _h in self.consensus)
+            lines.append(
+                f"consensus: {len(self.consensus)} decision(s), "
+                f"max {rounds} round(s), max {worst * 1e6:.3f} us"
+            )
+        return "\n".join(lines)
+
+
+def _recv_wait_intervals(trace: Any, nprocs: int) -> list[list[tuple[float, float]]]:
+    """Blocked-on-receive intervals per rank, reconstructed from the
+    trace (``RECV_POST`` -> ``RECV_COMPLETE``/``REQ_ERROR`` by req id)."""
+    from ..simmpi.trace import TraceKind
+
+    posts: dict[tuple[int, int], float] = {}
+    out: list[list[tuple[float, float]]] = [[] for _ in range(nprocs)]
+    events = trace.filter(
+        kind=(TraceKind.RECV_POST, TraceKind.RECV_COMPLETE, TraceKind.REQ_ERROR)
+    )
+    for ev in events:
+        req = ev.detail.get("req")
+        if req is None:
+            continue
+        key = (ev.rank, req)
+        if ev.kind is TraceKind.RECV_POST:
+            posts[key] = ev.time
+        else:
+            start = posts.pop(key, None)
+            if start is not None and ev.rank < nprocs:
+                out[ev.rank].append((start, ev.time))
+    return out
+
+
+def run_report(result: Any, nprocs: int | None = None) -> RunReport:
+    """Summarize a finished :class:`~repro.simmpi.runtime.SimulationResult`.
+
+    Works from the trace alone; when the run was built with
+    ``metrics=True`` the kernel's blocked intervals and consensus timings
+    sharpen the blocked-time accounting and populate :attr:`RunReport.consensus`.
+    """
+    from ..simmpi.trace import TraceKind
+
+    if nprocs is None:
+        nprocs = len(result.outcomes)
+    final = result.final_time
+    metrics = getattr(result, "metrics", None)
+    trace = result.trace
+
+    failure_at: dict[int, float] = {}
+    for ev in trace.filter(kind=TraceKind.FAILURE):
+        failure_at.setdefault(ev.rank, ev.time)
+
+    if metrics is not None:
+        blocked = [
+            metrics.blocked_time(r, until=failure_at.get(r, final))
+            for r in range(nprocs)
+        ]
+    else:
+        waits = _recv_wait_intervals(trace, nprocs)
+        blocked = []
+        for r in range(nprocs):
+            end = failure_at.get(r, final)
+            total = sum(min(e, end) - s for s, e in waits[r] if s < end)
+            # A hung or killed rank's last recv never completes; its trace
+            # interval is open, so charge the wait up to the rank's end.
+            open_posts = {
+                ev.detail.get("req"): ev.time
+                for ev in trace.filter(kind=TraceKind.RECV_POST, rank=r)
+            }
+            for ev in trace.filter(
+                kind=(TraceKind.RECV_COMPLETE, TraceKind.REQ_ERROR), rank=r
+            ):
+                open_posts.pop(ev.detail.get("req"), None)
+            total += sum(end - t for t in open_posts.values() if t < end)
+            blocked.append(total)
+
+    ranks = []
+    for out in result.outcomes[:nprocs]:
+        r = out.rank
+        end = failure_at.get(r, final)
+        failed_s = final - failure_at[r] if r in failure_at else 0.0
+        blocked_s = min(blocked[r], end)
+        busy_s = max(0.0, end - blocked_s)
+        ranks.append(
+            RankSummary(
+                rank=r,
+                state=out.state,
+                busy_s=busy_s,
+                blocked_s=blocked_s,
+                failed_s=failed_s,
+            )
+        )
+
+    detections = [
+        (ev.rank, ev.detail["failed"],
+         ev.time - failure_at.get(ev.detail["failed"], ev.time))
+        for ev in trace.filter(kind=TraceKind.DETECT)
+    ]
+
+    validates: list[tuple[int, Any, float]] = []
+    starts: dict[tuple[int, Any, Any], float] = {}
+    for ev in trace.filter(kind=TraceKind.VALIDATE):
+        op = ev.detail.get("op")
+        key = (ev.rank, ev.detail.get("comm"), ev.detail.get("instance"))
+        if op == "all_start":
+            starts[key] = ev.time
+        elif op == "all_decide":
+            t0 = starts.pop(key, None)
+            if t0 is not None:
+                validates.append((ev.rank, ev.detail.get("instance"),
+                                  ev.time - t0))
+
+    return RunReport(
+        nprocs=nprocs,
+        final_time=final,
+        ranks=ranks,
+        detection_latencies=detections,
+        validate_latencies=validates,
+        consensus=(
+            list(metrics.consensus_rounds) if metrics is not None else []
+        ),
+    )

@@ -1,0 +1,409 @@
+"""Sweep telemetry: a structured JSONL stream per explore/campaign/fuzz.
+
+Every job of a sweep is wrapped in a :class:`TelemetryJob` that times its
+execution and records where it ran; the parent writes one JSONL line per
+job (plus a header) as results come back.  The stream answers the
+operational questions a report cannot: which jobs are slow, which worker
+ran them, how often chunks were retried, what the cache answered.
+
+**Determinism contract** (CI-enforced): the *canonical* form of a
+telemetry file — volatile fields dropped, lines sorted — is byte-
+identical between a serial run and any pooled run of the same sweep.
+Volatile fields are exactly the ones that depend on wall time or
+placement (:data:`VOLATILE_KEYS`: start/end timestamps, wall seconds,
+worker id, retry count, worker count); everything else (job kind, index,
+outcome class, cache disposition) is a pure function of the sweep spec.
+
+**Cache integration**: :class:`TelemetryJob` implements the
+``repro.cache`` contract *by delegation* and exposes the wrapped job as
+its ``cache_key_delegate``, so a telemetry-wrapped job has the **same
+cache key** as the bare job — warm outcomes recorded without telemetry
+are served to telemetry runs and vice versa.  The wrapper marks each
+line ``cache: "hit" | "miss" | null`` accordingly.
+
+:func:`summarize` / ``repro report`` aggregate a stream offline: outcome
+histogram, wall-time percentiles, slowest jobs, per-worker utilization,
+cache hit rate — no simulation is re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "TelemetryJob",
+    "TelemetryResult",
+    "TelemetrySummary",
+    "TelemetryWriter",
+    "VOLATILE_KEYS",
+    "canonical_lines",
+    "outcome_class",
+    "read_telemetry",
+    "run_recorded",
+    "summarize",
+    "telemetry_errors",
+]
+
+#: Header format tag; bump when the line layout changes.
+TELEMETRY_FORMAT = "repro.telemetry/1"
+
+#: Fields that legitimately differ between runs of the same sweep
+#: (wall time and placement); dropped by :func:`canonical_lines`.
+VOLATILE_KEYS = frozenset(
+    {"t_start", "t_end", "wall_s", "worker", "retries", "workers"}
+)
+
+
+def outcome_class(value: Any) -> str:
+    """Classify a sweep result by the outcome fields every job shape
+    shares (``ScenarioOutcome``, ``CampaignRun``, ``FuzzOutcome``)."""
+    if getattr(value, "hung", False):
+        return "hang"
+    if getattr(value, "violations", ()):
+        return "violation"
+    if getattr(value, "aborted", False):
+        return "abort"
+    return "ok"
+
+
+@dataclass(frozen=True)
+class TelemetryResult:
+    """What a :class:`TelemetryJob` ships back across the pool."""
+
+    index: int
+    value: Any
+    t_start: float
+    t_end: float
+    worker: int
+    #: ``"hit"`` / ``"miss"`` when the cache answered/stored the job,
+    #: ``None`` for an uncached execution.
+    cached: str | None = None
+
+    @property
+    def wall_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class TelemetryJob:
+    """Picklable wrapper timing one sweep job.
+
+    Delegates the :mod:`repro.cache` contract to the wrapped job and
+    keys as the wrapped job (via :attr:`cache_key_delegate`), so
+    wrapping never splits the cache namespace.  ``index`` is the global
+    submission index within the sweep (display/aggregation bookkeeping).
+    """
+
+    job: Any
+    index: int
+
+    #: repro.cache.keys.job_key hashes this object instead of the
+    #: wrapper, making the telemetry run share the bare job's entries.
+    @property
+    def cache_key_delegate(self) -> Any:
+        return self.job
+
+    @property
+    def cacheable(self) -> bool:
+        return bool(
+            hasattr(self.job, "cache_payload")
+            and hasattr(self.job, "from_cached")
+            and getattr(self.job, "cacheable", True)
+        )
+
+    def __call__(self) -> TelemetryResult:
+        t0 = time.monotonic()
+        value = self.job()
+        return TelemetryResult(
+            index=self.index, value=value, t_start=t0,
+            t_end=time.monotonic(), worker=os.getpid(), cached=None,
+        )
+
+    # -- cache contract, by delegation ---------------------------------
+
+    def cache_payload(self) -> tuple[TelemetryResult, dict[str, Any]]:
+        t0 = time.monotonic()
+        value, payload = self.job.cache_payload()
+        wrapped = TelemetryResult(
+            index=self.index, value=value, t_start=t0,
+            t_end=time.monotonic(), worker=os.getpid(), cached="miss",
+        )
+        return wrapped, payload
+
+    def from_cached(self, payload: dict[str, Any]) -> TelemetryResult:
+        t0 = time.monotonic()
+        value = self.job.from_cached(payload)
+        return TelemetryResult(
+            index=self.index, value=value, t_start=t0,
+            t_end=time.monotonic(), worker=os.getpid(), cached="hit",
+        )
+
+
+class TelemetryWriter:
+    """Streams one sweep's telemetry to a JSONL file.
+
+    Usage::
+
+        writer = TelemetryWriter(path, kind="campaign", total=len(jobs))
+        try:
+            values = run_recorded(runner, jobs, writer)
+        finally:
+            writer.close()
+
+    Batched drivers call :meth:`wrap` with the batch's global start
+    index, run the wrapped jobs, then :meth:`record` each batch; lines
+    append in completion order (canonicalization sorts them anyway).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        kind: str,
+        total: int,
+        workers: int | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
+        self.path = Path(path)
+        header: dict[str, Any] = {
+            "format": TELEMETRY_FORMAT,
+            "kind": kind,
+            "runs": total,
+            "workers": workers,
+        }
+        if extra:
+            header.update(extra)
+        self._fh = self.path.open("w")
+        self._write(header)
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self._fh.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+
+    def wrap(self, jobs: Sequence[Any], start: int = 0) -> list[TelemetryJob]:
+        return [TelemetryJob(job=j, index=start + i) for i, j in enumerate(jobs)]
+
+    def record(
+        self,
+        results: Sequence[TelemetryResult],
+        retries: Sequence[int] | None = None,
+    ) -> list[Any]:
+        """Write one line per wrapped result; return the unwrapped values
+        in the order given (submission order)."""
+        values: list[Any] = []
+        for i, res in enumerate(results):
+            self._write({
+                "kind": "job",
+                "index": res.index,
+                "outcome": outcome_class(res.value),
+                "cache": res.cached,
+                "t_start": res.t_start,
+                "t_end": res.t_end,
+                "wall_s": res.wall_s,
+                "worker": res.worker,
+                "retries": (retries[i] if retries is not None
+                            and i < len(retries) else 0),
+            })
+            values.append(res.value)
+        return values
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def run_recorded(
+    runner: Any, jobs: Sequence[Any], writer: TelemetryWriter
+) -> list[Any]:
+    """Run *jobs* through *runner* with telemetry; return unwrapped values."""
+    wrapped = writer.wrap(jobs)
+    results = runner.run(wrapped)
+    return writer.record(
+        results, retries=getattr(runner, "job_retries", None)
+    )
+
+
+# ----------------------------------------------------------------------
+# Reading, canonicalization, aggregation
+# ----------------------------------------------------------------------
+
+
+def read_telemetry(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a telemetry JSONL file (header first, then job lines)."""
+    records = []
+    for ln in Path(path).read_text().splitlines():
+        if ln.strip():
+            records.append(json.loads(ln))
+    if not records:
+        raise ValueError(f"{path}: empty telemetry file")
+    fmt = records[0].get("format")
+    if fmt != TELEMETRY_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported telemetry format {fmt!r} "
+            f"(want {TELEMETRY_FORMAT!r})"
+        )
+    return records
+
+
+def telemetry_errors(path: str | Path) -> list[str]:
+    """Schema-validate a telemetry file (empty list == valid)."""
+    try:
+        records = read_telemetry(path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        return [str(exc)]
+    errors: list[str] = []
+    header, jobs = records[0], records[1:]
+    declared = header.get("runs")
+    if not isinstance(declared, int):
+        errors.append("header: runs missing or not an int")
+    elif declared != len(jobs):
+        errors.append(f"header declares {declared} runs, file has {len(jobs)}")
+    seen: set[int] = set()
+    for i, rec in enumerate(jobs, start=2):
+        where = f"line {i}"
+        if rec.get("kind") != "job":
+            errors.append(f"{where}: kind != 'job'")
+        idx = rec.get("index")
+        if not isinstance(idx, int):
+            errors.append(f"{where}: index missing or not an int")
+        elif idx in seen:
+            errors.append(f"{where}: duplicate index {idx}")
+        else:
+            seen.add(idx)
+        if rec.get("outcome") not in ("ok", "hang", "violation", "abort"):
+            errors.append(f"{where}: bad outcome {rec.get('outcome')!r}")
+        if rec.get("cache") not in (None, "hit", "miss"):
+            errors.append(f"{where}: bad cache {rec.get('cache')!r}")
+        for field in ("t_start", "t_end", "wall_s"):
+            if not isinstance(rec.get(field), (int, float)):
+                errors.append(f"{where}: {field} missing or not a number")
+        if not isinstance(rec.get("worker"), int):
+            errors.append(f"{where}: worker missing or not an int")
+        if not isinstance(rec.get("retries"), int):
+            errors.append(f"{where}: retries missing or not an int")
+    return errors
+
+
+def canonical_lines(path: str | Path) -> list[str]:
+    """The determinism view: volatile fields dropped, lines sorted.
+
+    Two runs of the same sweep — serial, pooled, any worker count —
+    produce identical canonical lines (CI diffs them).
+    """
+    lines = []
+    for rec in read_telemetry(path):
+        kept = {k: v for k, v in rec.items() if k not in VOLATILE_KEYS}
+        lines.append(json.dumps(kept, sort_keys=True, separators=(",", ":")))
+    return sorted(lines)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile on an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    k = max(0, min(len(sorted_values) - 1,
+                   int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[k]
+
+
+@dataclass
+class TelemetrySummary:
+    """Offline aggregate of one telemetry stream."""
+
+    kind: str
+    runs: int
+    outcomes: dict[str, int]
+    wall_percentiles: dict[str, float]
+    slowest: list[tuple[int, float, str]]  # (index, wall_s, outcome)
+    workers: dict[int, dict[str, float]]  # pid -> {jobs, busy_s}
+    cache: dict[str, int]  # hit/miss/uncached counts
+    retries: int
+
+    def format(self) -> str:
+        lines = [f"telemetry: {self.kind} sweep, {self.runs} job(s)"]
+        hist = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.outcomes.items())
+        ) or "none"
+        lines.append(f"outcomes: {hist}")
+        p = self.wall_percentiles
+        lines.append(
+            "job wall time: "
+            f"p50={p['p50'] * 1e3:.2f}ms p90={p['p90'] * 1e3:.2f}ms "
+            f"p99={p['p99'] * 1e3:.2f}ms max={p['max'] * 1e3:.2f}ms"
+        )
+        if self.slowest:
+            lines.append("slowest jobs:")
+            for idx, wall, outcome in self.slowest:
+                lines.append(
+                    f"  [{idx:4d}] {wall * 1e3:8.2f}ms  {outcome}"
+                )
+        if self.workers:
+            lines.append(f"workers: {len(self.workers)}")
+            for pid, w in sorted(self.workers.items()):
+                lines.append(
+                    f"  pid {pid}: {int(w['jobs'])} job(s), "
+                    f"{w['busy_s'] * 1e3:.2f}ms busy"
+                )
+        total_cached = self.cache["hit"] + self.cache["miss"]
+        if total_cached:
+            rate = self.cache["hit"] / total_cached
+            lines.append(
+                f"cache: {self.cache['hit']} hit(s), "
+                f"{self.cache['miss']} miss(es) "
+                f"({rate:.0%} hit rate)"
+            )
+        else:
+            lines.append("cache: off")
+        lines.append(f"chunk retries: {self.retries}")
+        return "\n".join(lines)
+
+
+def summarize(
+    records: list[dict[str, Any]], *, top: int = 5
+) -> TelemetrySummary:
+    """Aggregate parsed telemetry records into a :class:`TelemetrySummary`."""
+    header, jobs = records[0], records[1:]
+    outcomes: dict[str, int] = {}
+    cache = {"hit": 0, "miss": 0, "uncached": 0}
+    workers: dict[int, dict[str, float]] = {}
+    walls: list[float] = []
+    retries = 0
+    for rec in jobs:
+        outcomes[rec["outcome"]] = outcomes.get(rec["outcome"], 0) + 1
+        cached = rec.get("cache")
+        cache["hit" if cached == "hit"
+              else "miss" if cached == "miss" else "uncached"] += 1
+        wall = float(rec.get("wall_s", 0.0))
+        walls.append(wall)
+        pid = int(rec.get("worker", 0))
+        w = workers.setdefault(pid, {"jobs": 0.0, "busy_s": 0.0})
+        w["jobs"] += 1
+        w["busy_s"] += wall
+        retries += int(rec.get("retries", 0))
+    ordered = sorted(walls)
+    slowest = sorted(
+        ((rec["index"], float(rec.get("wall_s", 0.0)), rec["outcome"])
+         for rec in jobs),
+        key=lambda t: -t[1],
+    )[:top]
+    return TelemetrySummary(
+        kind=str(header.get("kind", "?")),
+        runs=len(jobs),
+        outcomes=outcomes,
+        wall_percentiles={
+            "p50": _percentile(ordered, 0.50),
+            "p90": _percentile(ordered, 0.90),
+            "p99": _percentile(ordered, 0.99),
+            "max": ordered[-1] if ordered else 0.0,
+        },
+        slowest=slowest,
+        workers=workers,
+        cache=cache,
+        retries=retries,
+    )

@@ -65,7 +65,17 @@ class SweepError(RuntimeError):
 
 
 class SweepRunner:
-    """Executes a batch of independent jobs, results in submission order."""
+    """Executes a batch of independent jobs, results in submission order.
+
+    After :meth:`run` returns, :attr:`job_retries` holds one int per job
+    (submission order): how many times the chunk carrying that job was
+    re-submitted.  Always zero for serial runs; the telemetry layer
+    (:mod:`repro.obs.telemetry`) reads it to attribute infrastructure
+    retries to jobs.
+    """
+
+    #: Per-job retry counts of the most recent :meth:`run` (see above).
+    job_retries: list[int] = []
 
     def run(self, jobs: Sequence[SweepJob]) -> list[Any]:  # pragma: no cover
         raise NotImplementedError
@@ -91,6 +101,7 @@ class SerialRunner(SweepRunner):
     """Run every job in-process, in submission order (reference runner)."""
 
     def run(self, jobs: Sequence[SweepJob]) -> list[Any]:
+        self.job_retries = [0] * len(jobs)
         return [job() for job in jobs]
 
 
@@ -200,6 +211,10 @@ class ProcessPoolRunner(SweepRunner):
                         f"exceeds its timeout will do so on every attempt",
                         indices=indices,
                     )
+        self.job_retries = [0] * len(jobs)
+        for start, part in chunks:
+            for k in range(len(part)):
+                self.job_retries[start + k] = attempts[start]
         return results
 
     def _run_round(

@@ -134,6 +134,9 @@ class SimProcess:
     def block(self, reason: str) -> None:
         """Yield to the scheduler until woken (called from the fiber thread)."""
         assert self.fiber is not None
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.fiber_blocked(self.rank, self.now)
         self.fiber.state = FiberState.BLOCKED
         self.fiber.block_reason = reason
         self.fiber.yield_to_scheduler()
@@ -143,6 +146,9 @@ class SimProcess:
         assert self.fiber is not None
         self.now = max(self.now, time)
         if self.fiber.state is FiberState.BLOCKED:
+            obs = self.runtime.obs
+            if obs is not None:
+                obs.fiber_woken(self.rank, self.now)
             self.fiber.state = FiberState.READY
             self.fiber.block_reason = ""
             self.runtime.enqueue_ready(self)

@@ -73,6 +73,7 @@ class Runtime:
         detection_latency: float | Callable[[int, int], float] = 0.0,
         trace_enabled: bool = True,
         trace_cap: int | None = None,
+        metrics: bool = False,
         max_events: int = 20_000_000,
         max_time: float = float("inf"),
     ) -> None:
@@ -87,6 +88,15 @@ class Runtime:
         self.events = EventQueue()
         self.trace = Trace(enabled=trace_enabled, cap=trace_cap)
         self.perf = PerfCounters()
+        #: Kernel metrics accumulator (``repro.obs``), or ``None``.  Every
+        #: hot-path hook is guarded with ``if obs is not None:`` so a run
+        #: without ``metrics=True`` allocates no obs state and pays one
+        #: attribute read per guard — the trace's zero-cost discipline.
+        self.obs: Any = None
+        if metrics:
+            from ..obs.metrics import KernelMetrics  # lazy: avoids a cycle
+
+            self.obs = KernelMetrics(nprocs)
         self.max_events = max_events
         self.max_time = max_time
         self._detection_latency = detection_latency
@@ -365,6 +375,8 @@ class Runtime:
         if ssend_req is not None:
             self.track_peer_request(proc.rank, ssend_req)
         self.perf.messages_sent += 1
+        if self.obs is not None:
+            self.obs.message_posted(proc.now)
         if self.trace.enabled:
             self.trace.record(
                 proc.now, TraceKind.SEND_POST, proc.rank,
@@ -375,6 +387,9 @@ class Runtime:
     def _deliver(self, msg: Message) -> None:
         dst = self.procs[msg.dst]
         perf = self.perf
+        obs = self.obs
+        if obs is not None:
+            obs.message_done(msg.deliver_time)
         if not dst.alive():
             perf.messages_dropped += 1
             if self.trace.enabled:
@@ -403,6 +418,11 @@ class Runtime:
             if dst.wants_arrival_wake:
                 dst.wants_arrival_wake = False
                 dst.wake(msg.deliver_time, "message arrival")
+        if obs is not None:
+            st = dst.engine.stats()
+            obs.queue_sample(
+                msg.dst, msg.deliver_time, st["posted"], st["unexpected"]
+            )
 
     def post_recv(self, comm: Comm, req: Request, context: int | None = None) -> None:
         """Post a receive request on *comm* (or an explicit context)."""
@@ -418,6 +438,11 @@ class Runtime:
         if msg is not None:
             self.perf.messages_matched += 1
             self._complete_recv(req, msg, max(proc.now, msg.deliver_time))
+        if self.obs is not None:
+            st = proc.engine.stats()
+            self.obs.queue_sample(
+                proc.rank, proc.now, st["posted"], st["unexpected"]
+            )
 
     def _complete_recv(self, req: Request, msg: Message, time: float) -> None:
         t = time + self.cost.recv_overhead(msg.src, msg.dst, msg.nbytes)
@@ -489,6 +514,8 @@ class Runtime:
             send_time=t0, deliver_time=deliver,
         )
         self.perf.messages_sent += 1
+        if self.obs is not None:
+            self.obs.message_posted(t0)
         if self.trace.enabled:
             self.trace.record(
                 t0, TraceKind.SEND_POST, src_rank,
@@ -549,6 +576,7 @@ class Runtime:
         policy = self.policy
         ready = self._ready
         events = self.events
+        obs = self.obs
         t0 = _time.perf_counter()
         try:
             while True:
@@ -568,6 +596,8 @@ class Runtime:
                 if events:
                     ev = events.pop()
                     perf.events_executed += 1
+                    if obs is not None:
+                        obs.event_executed(ev.time, len(events))
                     if perf.events_executed > self.max_events:
                         raise SimulationLimitExceeded(
                             f"exceeded max_events={self.max_events}"
@@ -653,6 +683,9 @@ class SimulationResult:
     #: Kernel performance counters for this run (handoffs, events,
     #: matches, wall seconds); see :class:`repro.perf.PerfCounters`.
     perf: PerfCounters | None = None
+    #: Kernel metric timelines (:class:`repro.obs.metrics.KernelMetrics`)
+    #: when the simulation was built with ``metrics=True``; else ``None``.
+    metrics: Any = None
 
     def value(self, rank: int) -> Any:
         """Return value of *rank*'s main (raises if it did not complete)."""
@@ -701,6 +734,7 @@ class Simulation:
         detection_latency: float | Callable[[int, int], float] = 0.0,
         trace_enabled: bool = True,
         trace_cap: int | None = None,
+        metrics: bool = False,
         max_events: int = 20_000_000,
         max_time: float = float("inf"),
     ) -> None:
@@ -712,6 +746,7 @@ class Simulation:
             detection_latency=detection_latency,
             trace_enabled=trace_enabled,
             trace_cap=trace_cap,
+            metrics=metrics,
             max_events=max_events,
             max_time=max_time,
         )
@@ -836,6 +871,7 @@ class Simulation:
             events_executed=rt.perf.events_executed,
             failed_ranks=frozenset(rt.failed),
             perf=rt.perf,
+            metrics=rt.obs,
         )
         if raise_app_errors:
             for out in outcomes:

@@ -146,14 +146,27 @@ class Trace:
 
     def filter(
         self,
-        kind: TraceKind | None = None,
+        kind: "TraceKind | tuple[TraceKind, ...] | frozenset[TraceKind] | None" = None,
         rank: int | None = None,
         predicate: Callable[[TraceEvent], bool] | None = None,
     ) -> list[TraceEvent]:
-        """Return records matching all of the given criteria."""
+        """Return records matching all of the given criteria.
+
+        ``kind`` accepts a single :class:`TraceKind` or any collection of
+        kinds — the space-time renderer and the exporters all select
+        several kinds at once, so one pass here replaces repeated
+        single-kind filters.
+        """
+        kinds: "frozenset[TraceKind] | None"
+        if kind is None:
+            kinds = None
+        elif isinstance(kind, TraceKind):
+            kinds = frozenset((kind,))
+        else:
+            kinds = frozenset(kind)
         out = []
         for ev in self._events:
-            if kind is not None and ev.kind is not kind:
+            if kinds is not None and ev.kind not in kinds:
                 continue
             if rank is not None and ev.rank != rank:
                 continue

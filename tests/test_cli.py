@@ -113,3 +113,117 @@ class TestParser:
     def test_variant_choices_enforced(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["ring", "--variant", "bogus"])
+
+
+class TestTraceCommand:
+    def test_perfetto_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "fig6.json"
+        rc = main(["trace", "fig6", "--format", "perfetto",
+                   "-o", str(out_file), "--validate"])
+        err = capsys.readouterr().err
+        assert rc == 0
+        assert "export valid" in err
+        import json
+
+        doc = json.loads(out_file.read_text())
+        assert doc["otherData"]["producer"] == "repro.obs"
+        assert doc["traceEvents"]
+
+    def test_perfetto_stdout(self, capsys):
+        rc = main(["trace", "fig2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert '"traceEvents"' in out
+
+    def test_jsonl_round_trips(self, capsys, tmp_path):
+        out_file = tmp_path / "fig2.jsonl"
+        rc = main(["trace", "fig2", "--format", "jsonl",
+                   "-o", str(out_file), "--validate"])
+        assert rc == 0
+        from repro.obs import load_trace_jsonl
+
+        trace, header = load_trace_jsonl(out_file)
+        assert header["nprocs"] == 4
+        assert len(trace) == header["events"]
+
+    def test_spacetime_format(self, capsys):
+        rc = main(["trace", "fig6", "--format", "spacetime"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "time(us)" in out
+        assert "FAILED" in out
+
+    def test_summary_on_stderr(self, capsys):
+        rc = main(["trace", "fig6", "--format", "spacetime", "--summary"])
+        err = capsys.readouterr().err
+        assert rc == 0
+        assert "run report: 4 rank(s)" in err
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "bogus"])
+
+
+class TestReportCommand:
+    def _telemetry(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        main(["campaign", "--nprocs", "4", "--iters", "3", "--runs", "6",
+              "--telemetry", str(path)])
+        return path
+
+    def test_summary(self, capsys, tmp_path):
+        path = self._telemetry(tmp_path)
+        capsys.readouterr()
+        rc = main(["report", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "campaign sweep, 6 job(s)" in out
+        assert "job wall time" in out
+
+    def test_canonical_lines_are_sorted_json(self, capsys, tmp_path):
+        path = self._telemetry(tmp_path)
+        capsys.readouterr()
+        rc = main(["report", "--canon", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = out.splitlines()
+        assert lines == sorted(lines)
+        assert all("wall_s" not in ln for ln in lines)
+
+    def test_invalid_file_flagged(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format":"nope"}\n')
+        rc = main(["report", str(bad)])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "INVALID" in err
+
+
+class TestTraceViewFlags:
+    def test_ring_failure_story(self, capsys):
+        rc = main(["ring", "--nprocs", "4", "--iters", "3",
+                   "--kill-probe", "2:post_recv:2", "--failure-story"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FAILED" in out
+        assert "send>1" not in out  # story view hides normal traffic
+
+    def test_heat_spacetime(self, capsys):
+        rc = main(["heat", "--nprocs", "3", "--steps", "3", "--spacetime"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "time(us)" in out
+
+    def test_abft_failure_story(self, capsys):
+        rc = main(["abft", "--kill-probe", "2:computed:2",
+                   "--failure-story"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FAILED" in out
+
+    def test_farm_trace_cap(self, capsys):
+        rc = main(["farm", "--nprocs", "4", "--tasks", "6",
+                   "--trace-cap", "32", "--spacetime"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "time(us)" in out

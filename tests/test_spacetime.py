@@ -64,6 +64,25 @@ class TestRenderSpacetime:
         out = render_spacetime(r.trace, 4, options=opt)
         assert "more events" in out
 
+    def test_truncation_counts_only_renderable_events(self):
+        """The '(N more events)' tail must count events that *would have
+        rendered* — not raw trace events that the kind/rank/AM filters
+        drop anyway."""
+        r = ring_result()
+        full = render_spacetime(r.trace, 4)
+        # Rendered body lines = total lines minus header + rule.
+        rendered = len(full.splitlines()) - 2
+        opt = SpacetimeOptions(max_lines=3)
+        out = render_spacetime(r.trace, 4, options=opt)
+        assert out.splitlines()[-1] == f"... ({rendered - 3} more events)"
+
+    def test_no_truncation_tail_when_everything_fits(self):
+        r = ring_result()
+        full = render_spacetime(r.trace, 4)
+        rendered = len(full.splitlines()) - 2
+        opt = SpacetimeOptions(max_lines=rendered)
+        assert render_spacetime(r.trace, 4, options=opt) == full
+
     def test_empty_trace(self):
         out = render_spacetime(Trace(), 2)
         assert len(out.splitlines()) == 2  # header + rule only

@@ -45,6 +45,22 @@ class TestTrace:
         assert len(hits) == 1
         assert hits[0].detail["failed"] == 2
 
+    def test_filter_by_kind_tuple(self):
+        t = make_trace()
+        hits = t.filter(kind=(TraceKind.FAILURE, TraceKind.DETECT))
+        assert [ev.kind for ev in hits] == [
+            TraceKind.FAILURE, TraceKind.DETECT, TraceKind.DETECT
+        ]
+        # Singleton tuple behaves like the scalar form.
+        assert t.filter(kind=(TraceKind.DETECT,)) == t.filter(
+            kind=TraceKind.DETECT
+        )
+
+    def test_filter_by_kind_frozenset(self):
+        t = make_trace()
+        kinds = frozenset({TraceKind.SEND_POST, TraceKind.DELIVER})
+        assert len(t.filter(kind=kinds)) == 2
+
     def test_count_with_detail(self):
         t = make_trace()
         assert t.count(TraceKind.DETECT, failed=2) == 2
