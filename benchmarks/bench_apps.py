@@ -14,6 +14,7 @@ without failures:
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.analysis import ascii_table
 from repro.apps import (
@@ -30,7 +31,7 @@ from repro.apps import (
     reference_result,
 )
 from repro.faults import KillAtProbe, KillAtTime
-from repro.simmpi import Simulation
+from repro.simmpi import Simulation, greenlet_available, resolve_backend
 from conftest import emit, timed
 
 N = 6
@@ -42,16 +43,19 @@ def _heat_fields(result) -> dict[int, np.ndarray]:
     }
 
 
-def bench_apps_heat_degradation(benchmark):
+def _bench_heat_degradation(benchmark, fibers: str) -> None:
+    """Handoff-heavy end-to-end series (halo exchanges every step),
+    runnable on either fiber backend — the application tables must be
+    identical; only wall time may differ."""
     cfg = HeatConfig(cells_per_rank=8, steps=20)
     rows = []
 
     def run_all():
         rows.clear()
-        ref = Simulation(nprocs=N).run(make_heat_main(cfg))
+        ref = Simulation(nprocs=N, fibers=fibers).run(make_heat_main(cfg))
         ref_fields = _heat_fields(ref)
         for kills in ([], [(2, 8.5e-6)], [(2, 8.5e-6), (4, 14.5e-6)]):
-            sim = Simulation(nprocs=N)
+            sim = Simulation(nprocs=N, fibers=fibers)
             for rank, t in kills:
                 sim.kill(rank, at_time=t)
             r = sim.run(make_heat_main(cfg), on_deadlock="return")
@@ -63,9 +67,10 @@ def bench_apps_heat_degradation(benchmark):
             rows.append([len(kills), not r.hung, len(fields), err])
         return rows
 
-    timed(benchmark, run_all)
+    timed(benchmark, run_all, fibers=fibers)
     emit(
-        "Heat diffusion: survivors' L2 deviation from failure-free reference",
+        "Heat diffusion: survivors' L2 deviation from failure-free "
+        f"reference ({fibers} fibers)",
         ascii_table(
             ["failures", "ran through", "survivors", "L2 error"], rows
         ),
@@ -74,6 +79,20 @@ def bench_apps_heat_degradation(benchmark):
     assert rows[1][3] > 0.0   # degraded, not destroyed
     assert all(through for _f, through, _s, _e in rows)
     assert rows[1][3] <= rows[2][3] + 1e-9  # more failures, no less error
+
+
+def bench_apps_heat_degradation(benchmark):
+    _bench_heat_degradation(benchmark, resolve_backend(None))
+
+
+def bench_apps_heat_degradation_threaded(benchmark):
+    _bench_heat_degradation(benchmark, "thread")
+
+
+def bench_apps_heat_degradation_greenlet(benchmark):
+    if not greenlet_available():
+        pytest.skip("greenlet not installed (pip install repro[fast])")
+    _bench_heat_degradation(benchmark, "greenlet")
 
 
 def bench_apps_allreduce_contributors(benchmark):

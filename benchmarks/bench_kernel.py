@@ -4,8 +4,12 @@ Where the ``bench_fig*`` files measure paper scenarios end to end, these
 series isolate the four kernel mechanisms the scenarios are built from,
 so a regression can be attributed to the mechanism that caused it:
 
-* ``handoff`` — the raw fiber baton round-trip (two pre-acquired locks;
-  this is dominated by the OS thread context switch, ~10µs/handoff);
+* ``handoff`` — the raw fiber suspend/resume round-trip, measured once
+  on the active backend and once per available backend
+  (``_threaded``/``_greenlet``): the thread-baton fallback pays an OS
+  context switch (~10µs/handoff) where the greenlet backend does a
+  single-threaded C stack switch (zero locks) that must come in at
+  least 10x faster — asserted whenever greenlet is importable;
 * ``event_queue`` — schedule/pop/cancel throughput of the tuple-keyed
   binary heap;
 * ``matching`` — posted-receive lookup, indexed ``(source, tag)`` fast
@@ -20,40 +24,86 @@ from __future__ import annotations
 
 import time
 
-from repro.simmpi import Simulation
+import pytest
+
+from repro.simmpi import (
+    Simulation,
+    greenlet_available,
+    make_fiber,
+    resolve_backend,
+)
 from repro.simmpi.clock import EventQueue
 from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
 from repro.simmpi.matching import MatchingEngine, Message
-from repro.simmpi.scheduler import Fiber
 from conftest import emit, timed
 
 
-def bench_kernel_handoff(benchmark):
-    """Raw baton round-trips through one fiber (no MPI, no events)."""
+def _handoff_us(backend: str, n: int) -> float:
+    """Microseconds per suspend/resume round-trip on *backend*."""
+    fiber = None
+
+    def target() -> None:
+        for _ in range(n):
+            fiber.yield_to_scheduler()
+
+    fiber = make_fiber(backend, name="bench-handoff", index=0, target=target)
+    t0 = time.perf_counter()
+    fiber.start()
+    for _ in range(n + 1):  # n yields + the final return
+        fiber.resume_and_wait()
+    per_us = (time.perf_counter() - t0) / n * 1e6
+    fiber.join()
+    fiber.release()
+    assert fiber.finished() and fiber.error is None
+    return per_us
+
+
+def _bench_handoff(benchmark, backend: str, title: str) -> None:
     N = 2000
     stats = {}
 
     def run() -> None:
-        fiber: Fiber | None = None
+        stats["per_handoff_us"] = _handoff_us(backend, N)
 
-        def target() -> None:
-            for _ in range(N):
-                fiber.yield_to_scheduler()
-
-        fiber = Fiber("bench-handoff", 0, target)
-        t0 = time.perf_counter()
-        fiber.start()
-        for _ in range(N + 1):  # N yields + the final return
-            fiber.resume_and_wait()
-        stats["per_handoff_us"] = (time.perf_counter() - t0) / N * 1e6
-        fiber.join()
-        fiber.release()
-        assert fiber.finished() and fiber.error is None
-
-    timed(benchmark, run)
+    timed(benchmark, run, fibers=backend)
     emit(
-        "kernel: fiber baton round-trip",
-        f"{N} handoffs, {stats['per_handoff_us']:.2f} us per round-trip",
+        title,
+        f"{N} handoffs, {stats['per_handoff_us']:.2f} us per round-trip "
+        f"({backend} backend)",
+    )
+
+
+def bench_kernel_handoff(benchmark):
+    """Raw suspend/resume round-trips on the *active* backend."""
+    _bench_handoff(benchmark, resolve_backend(None),
+                   "kernel: fiber handoff round-trip")
+
+
+def bench_kernel_handoff_threaded(benchmark):
+    """The thread-baton fallback, pinned regardless of the default."""
+    _bench_handoff(benchmark, "thread",
+                   "kernel: fiber handoff round-trip (thread)")
+
+
+def bench_kernel_handoff_greenlet(benchmark):
+    """The greenlet backend, plus the >=10x-vs-thread acceptance gate."""
+    if not greenlet_available():
+        pytest.skip("greenlet not installed (pip install repro[fast])")
+    _bench_handoff(benchmark, "greenlet",
+                   "kernel: fiber handoff round-trip (greenlet)")
+    # Acceptance gate: zero-lock stack switches must beat the OS
+    # context switch by an order of magnitude on the same machine.
+    thread_us = min(_handoff_us("thread", 2000) for _ in range(3))
+    greenlet_us = min(_handoff_us("greenlet", 2000) for _ in range(3))
+    speedup = thread_us / greenlet_us
+    emit(
+        "kernel: handoff backend speedup",
+        (f"thread {thread_us:.2f} us vs greenlet {greenlet_us:.2f} us "
+         f"per round-trip -> {speedup:.1f}x"),
+    )
+    assert speedup >= 10.0, (
+        f"greenlet handoff only {speedup:.1f}x faster than thread "
+        f"({greenlet_us:.2f} vs {thread_us:.2f} us); expected >= 10x"
     )
 
 

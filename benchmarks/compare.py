@@ -10,6 +10,10 @@ Prints a per-series table and exits 1 when any series regressed by more
 than the threshold (relative, on ``min_wall_s`` by default).  CI runs
 this as a *soft* step: regressions annotate the build but do not fail it
 (wall-clock noise on shared runners makes a hard gate flaky).
+
+Exits 2 without a table when the two files were recorded under
+different fiber backends (``counters.fibers`` disagrees on a shared
+series) — those wall times are not comparable.
 """
 
 from __future__ import annotations
@@ -20,7 +24,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.perf import diff_benchmarks, format_diff  # noqa: E402
+from repro.perf import (  # noqa: E402
+    BackendMismatch,
+    diff_benchmarks,
+    format_diff,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,7 +39,13 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="relative regression that flags a series")
     args = ap.parse_args(argv)
-    deltas = diff_benchmarks(args.baseline, args.current, metric=args.metric)
+    try:
+        deltas = diff_benchmarks(
+            args.baseline, args.current, metric=args.metric
+        )
+    except BackendMismatch as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
     text, flagged = format_diff(deltas, threshold=args.threshold)
     print(text)
     return 1 if flagged else 0

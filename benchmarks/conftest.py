@@ -31,7 +31,7 @@ import pytest
 from repro.core import RingConfig, make_ring_main, make_rootft_main
 from repro.parallel import SweepRunner, make_runner
 from repro.perf import CACHE, SESSION
-from repro.simmpi import Simulation, SimulationResult
+from repro.simmpi import Simulation, SimulationResult, resolve_backend
 
 #: series name -> list of observed wall-clock durations (seconds).
 _PERF: dict[str, list[float]] = {}
@@ -86,7 +86,9 @@ def _series_name() -> str:
     return current.split("::")[-1].split(" ")[0]
 
 
-def timed(benchmark: Any, fn: Callable[[], Any]) -> Any:
+def timed(
+    benchmark: Any, fn: Callable[[], Any], *, fibers: str | None = None
+) -> Any:
     """Run *fn* under pytest-benchmark with a small fixed round count.
 
     The simulations are deterministic, so a handful of rounds measures
@@ -96,9 +98,15 @@ def timed(benchmark: Any, fn: Callable[[], Any]) -> Any:
     :class:`repro.perf.PerfCounters`) observed across one round: the
     counters explain *why* a wall time moved (e.g. the same time with
     fewer handoffs means per-handoff cost went up).
+
+    Every series is stamped with the fiber backend it ran on (*fibers*,
+    or the process default when not given) — ``repro bench-diff``
+    refuses to compare series recorded under different backends, since
+    the handoff mechanism dominates kernel wall time.
     """
     name = _series_name()
     durations = _PERF.setdefault(name, [])
+    backend = fibers if fibers is not None else resolve_backend(None)
 
     def instrumented() -> Any:
         before = SESSION.snapshot()
@@ -109,6 +117,7 @@ def timed(benchmark: Any, fn: Callable[[], Any]) -> Any:
         # Deterministic runs: every round's counters are identical, so
         # keeping the last round's delta loses nothing.
         counters = SESSION.delta(before)
+        counters["fibers"] = backend
         # Run-cache traffic rides along (prefixed, only when nonzero) so
         # cold/warm series in BENCH_simperf.json are self-describing.
         counters.update(

@@ -2,9 +2,10 @@
 
 One blake2b digest covers everything deterministic about a finished
 simulation: the final virtual time, the full semantic trace (event keys,
-in order), each rank's terminal state, and the perf counters minus
-``wall_s`` (host time — the one counter that is *not* deterministic and
-must never enter a digest or a report compared across runs).
+in order), each rank's terminal state, and the perf counters minus the
+host-side slots (``wall_s`` and the ``fibers`` backend label — neither
+is a property of the simulation, and neither may enter a digest or a
+report compared across runs).
 
 These helpers used to live in :mod:`repro.fuzz.driver`; they moved here
 so the fuzzer's replay verification and the content-addressed sweep
@@ -27,13 +28,17 @@ __all__ = ["perf_dict", "result_digest", "trace_digest"]
 
 
 def perf_dict(result: "SimulationResult") -> dict[str, Any]:
-    """The run's perf counters minus ``wall_s`` (host time — the one
-    counter that is *not* deterministic and must never enter a digest
-    or a report that is compared across runs)."""
+    """The run's perf counters minus the host-side slots: ``wall_s``
+    (host time) and ``fibers`` (which fiber backend suspended the call
+    stacks).  Both describe the machine the run happened on, not the
+    simulation — traces are byte-identical across backends, so digests,
+    ``.repro.json`` expect blocks, and cache payloads must stay
+    backend-independent."""
     if result.perf is None:
         return {}
     d = result.perf.as_dict()
     d.pop("wall_s", None)
+    d.pop("fibers", None)
     return d
 
 

@@ -71,6 +71,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -120,6 +121,36 @@ def _schedule_from(args: argparse.Namespace) -> FailureSchedule:
         rank, probe, hit = spec.split(":")
         sched.at_probe(int(rank), probe, int(hit))
     return sched
+
+
+def _add_fibers_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fibers", default=None, choices=["auto", "thread", "greenlet"],
+        help="fiber backend for the kernel: 'greenlet' (single-threaded, "
+             "zero-lock handoffs; pip install repro[fast]) or 'thread' "
+             "(pure-stdlib baton fallback); 'auto' picks greenlet when "
+             "importable (default: $REPRO_FIBERS, else auto)",
+    )
+
+
+def _apply_fibers(args: argparse.Namespace) -> None:
+    """Publish ``--fibers`` as ``$REPRO_FIBERS`` for this process.
+
+    Every :class:`~repro.simmpi.runtime.Runtime` reads the variable at
+    construction, and pooled sweep workers inherit the environment, so
+    one assignment covers serial runs and ``--workers`` fan-out alike.
+    Traces are byte-identical across backends, so this only changes wall
+    time, never a report.  An unavailable backend (greenlet without the
+    package) fails here, once and cleanly, instead of deep in a run.
+    """
+    if getattr(args, "fibers", None):
+        from .simmpi import resolve_backend
+
+        try:
+            resolve_backend(args.fibers)
+        except (RuntimeError, ValueError) as exc:
+            raise SystemExit(f"--fibers: {exc}")
+        os.environ["REPRO_FIBERS"] = args.fibers
 
 
 def _add_cache_args(p: argparse.ArgumentParser) -> None:
@@ -256,6 +287,7 @@ def _ring_scenario(args: argparse.Namespace) -> RingScenario:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
+    _apply_fibers(args)
     ranks = None if args.rootft else list(range(1, args.nprocs))
     progress = None
     if args.progress:
@@ -281,6 +313,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    _apply_fibers(args)
     eligible = None
     if args.rootft:
         eligible = list(range(args.nprocs))  # the root may die too
@@ -340,6 +373,7 @@ def cmd_farm(args: argparse.Namespace) -> int:
 
 def cmd_perf(args: argparse.Namespace) -> int:
     """Run one scenario and print the kernel's performance counters."""
+    _apply_fibers(args)
     sim = _common_sim(args, args.nprocs)
     if not args.trace:
         sim.runtime.trace.enabled = False
@@ -361,7 +395,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
                else "aborted" if result.aborted is not None
                else "ran through")
     print(f"scenario: {args.scenario} (nprocs={args.nprocs}, "
-          f"seed={args.seed}, trace={'on' if args.trace else 'off'})")
+          f"seed={args.seed}, trace={'on' if args.trace else 'off'}, "
+          f"fibers={sim.runtime.fiber_backend})")
     print(f"outcome: {outcome}  virtual time: {result.final_time:.9f}")
     print()
     assert result.perf is not None
@@ -371,9 +406,15 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
 def cmd_bench_diff(args: argparse.Namespace) -> int:
     """Compare two BENCH_simperf.json files and flag regressions."""
-    from .perf import diff_benchmarks, format_diff
+    from .perf import BackendMismatch, diff_benchmarks, format_diff
 
-    deltas = diff_benchmarks(args.baseline, args.current, metric=args.metric)
+    try:
+        deltas = diff_benchmarks(
+            args.baseline, args.current, metric=args.metric
+        )
+    except BackendMismatch as exc:
+        print(f"bench-diff: {exc}", file=sys.stderr)
+        return 2
     text, flagged = format_diff(deltas, threshold=args.threshold)
     print(text)
     return 1 if flagged else 0
@@ -402,6 +443,7 @@ def _fuzz_scenario(args: argparse.Namespace):
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    _apply_fibers(args)
     from pathlib import Path
 
     from .fuzz import fuzz, write_repro
@@ -636,6 +678,7 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--progress", action="store_true",
                     help="report sweep liveness on stderr as batches "
                          "complete")
+    _add_fibers_arg(ex)
     ex.add_argument("--telemetry", default=None, metavar="FILE",
                     help="stream per-job telemetry (JSONL) to FILE; "
                          "aggregate later with `repro report FILE`")
@@ -664,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--workers", type=int, default=None,
                       help="fan the runs over N worker processes "
                            "(default: serial; the report is identical)")
+    _add_fibers_arg(camp)
     camp.add_argument("--telemetry", default=None, metavar="FILE",
                       help="stream per-job telemetry (JSONL) to FILE; "
                            "aggregate later with `repro report FILE`")
@@ -701,6 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--termination", default="validate_all",
                       choices=[t.value for t in Termination])
     perf.add_argument("--rootft", action="store_true")
+    _add_fibers_arg(perf)
     perf.add_argument("--trace", action=argparse.BooleanOptionalAction,
                       default=True,
                       help="--no-trace measures the zero-cost disabled-"
@@ -752,6 +797,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a .repro.json per failure into DIR")
     fz.add_argument("--verbose", action="store_true",
                     help="list every outcome, not just failures")
+    _add_fibers_arg(fz)
     fz.add_argument("--telemetry", default=None, metavar="FILE",
                     help="stream per-job telemetry (JSONL) to FILE; "
                          "aggregate later with `repro report FILE`")

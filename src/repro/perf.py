@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 __all__ = [
+    "BackendMismatch",
     "CACHE",
     "CacheCounters",
     "PerfCounters",
@@ -41,9 +42,16 @@ class PerfCounters:
     Increments happen on the kernel's hot path, so this is deliberately a
     bag of plain ints behind ``__slots__`` — no locks (the kernel is
     single-threaded-at-a-time by construction), no dicts, no properties.
+
+    One non-numeric slot rides along: :attr:`fibers`, the name of the
+    fiber backend the simulation ran on (``"thread"`` or ``"greenlet"``).
+    It is provenance, not a measurement — :meth:`add` merges it by
+    adoption (an empty label takes the other side's; two different labels
+    collapse to ``"mixed"``) and :meth:`delta` skips it entirely, so the
+    arithmetic paths stay pure-int over :data:`PerfCounters._NUMERIC`.
     """
 
-    __slots__ = (
+    _NUMERIC = (
         "handoffs",
         "events_executed",
         "events_cancelled",
@@ -54,6 +62,8 @@ class PerfCounters:
         "deliveries",
         "wall_s",
     )
+
+    __slots__ = _NUMERIC + ("fibers",)
 
     def __init__(self) -> None:
         #: Scheduler → fiber baton handoffs (≈ simulated MPI calls).
@@ -75,11 +85,19 @@ class PerfCounters:
         self.deliveries = 0
         #: Host wall-clock seconds spent inside the simulation loop.
         self.wall_s = 0.0
+        #: Fiber backend the counted simulations ran on (``""`` until a
+        #: runtime stamps it; ``"mixed"`` after folding across backends).
+        self.fibers = ""
 
     def add(self, other: "PerfCounters") -> None:
         """Fold *other* into this accumulator."""
-        for name in self.__slots__:
+        for name in self._NUMERIC:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        if other.fibers:
+            if not self.fibers:
+                self.fibers = other.fibers
+            elif self.fibers != other.fibers:
+                self.fibers = "mixed"
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict view (JSON reports, assertions)."""
@@ -89,9 +107,12 @@ class PerfCounters:
         """Human-readable counter report."""
         d = self.as_dict()
         wall = d.pop("wall_s")
+        backend = d.pop("fibers")
         width = max(len(k) for k in d)
         lines = [f"{k:<{width}}  {v}" for k, v in d.items()]
         lines.append(f"{'wall_s':<{width}}  {wall:.6f}")
+        if backend:
+            lines.append(f"{'fibers':<{width}}  {backend}")
         if wall > 0:
             rate = self.events_executed / wall
             lines.append(f"{'events_per_s':<{width}}  {rate:,.0f}")
@@ -106,10 +127,14 @@ class PerfCounters:
         return out
 
     def delta(self, since: "PerfCounters") -> dict[str, Any]:
-        """``self - since`` as a dict (bench harness per-series blocks)."""
+        """``self - since`` as a dict (bench harness per-series blocks).
+
+        Numeric slots only — the :attr:`fibers` provenance label is not
+        subtractable; the bench harness stamps it on each series itself.
+        """
         return {
             name: getattr(self, name) - getattr(since, name)
-            for name in self.__slots__
+            for name in self._NUMERIC
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -196,6 +221,42 @@ CACHE = CacheCounters()
 # Benchmark baseline comparison
 # ----------------------------------------------------------------------
 
+class BackendMismatch(ValueError):
+    """Two benchmark files were recorded under different fiber backends.
+
+    Wall times measured on the thread-baton backend and on the greenlet
+    backend are not comparable — the handoff mechanism *is* the dominant
+    cost in the kernel microbenchmarks — so :func:`diff_benchmarks`
+    refuses the comparison instead of reporting a bogus regression or
+    improvement.  Re-record one side, or compare the per-backend series
+    (``*_threaded`` vs ``*_greenlet``) within a single file.
+    """
+
+
+def _series_backend(series: dict[str, Any]) -> str:
+    """Fiber-backend label recorded with one series (``""`` if absent)."""
+    counters = series.get("counters")
+    if isinstance(counters, dict):
+        return str(counters.get("fibers", "") or "")
+    return ""
+
+
+def _check_backends(base: dict[str, Any], new: dict[str, Any]) -> None:
+    """Raise :class:`BackendMismatch` when shared series disagree on
+    the fiber backend they were recorded under (unlabeled legacy series
+    compare freely)."""
+    for name in sorted(set(base) & set(new)):
+        b = _series_backend(base[name])
+        n = _series_backend(new[name])
+        if b and n and b != n:
+            raise BackendMismatch(
+                f"series {name!r}: baseline recorded under fiber backend "
+                f"{b!r} but current under {n!r}; wall times across fiber "
+                "backends are not comparable (re-record one side with "
+                "REPRO_FIBERS set, or diff the per-backend series instead)"
+            )
+
+
 @dataclass
 class SeriesDelta:
     """Relative change of one benchmark series between two files."""
@@ -222,9 +283,16 @@ def diff_benchmarks(
     *,
     metric: str = "min_wall_s",
 ) -> list[SeriesDelta]:
-    """Compare two ``BENCH_simperf.json`` payloads series by series."""
+    """Compare two ``BENCH_simperf.json`` payloads series by series.
+
+    Raises :class:`BackendMismatch` when any series common to both files
+    carries a different ``counters.fibers`` label on each side — numbers
+    from different fiber backends must never be diffed against each
+    other.
+    """
     base = _load(baseline)
     new = _load(current)
+    _check_backends(base, new)
     out: list[SeriesDelta] = []
     for name in sorted(set(base) | set(new)):
         b = base.get(name, {}).get(metric)

@@ -59,6 +59,17 @@ from .errors import (
     SimulationError,
     TruncationError,
 )
+from .fibers import (
+    FIBER_BACKENDS,
+    BaseFiber,
+    GreenletFiber,
+    ThreadFiber,
+    available_backends,
+    default_backend,
+    greenlet_available,
+    make_fiber,
+    resolve_backend,
+)
 from .group import Group
 from .matching import Message
 from .nbcoll import ibarrier
@@ -93,12 +104,21 @@ __all__ = [
     "CostModel",
     "DEFAULT_COST",
     "DEFAULT_ROOT",
+    "BaseFiber",
     "ErrorClass",
     "ErrorHandler",
     "Event",
     "EventQueue",
+    "FIBER_BACKENDS",
     "Fiber",
     "FiberState",
+    "GreenletFiber",
+    "ThreadFiber",
+    "available_backends",
+    "default_backend",
+    "greenlet_available",
+    "make_fiber",
+    "resolve_backend",
     "Group",
     "Win",
     "HierarchicalCostModel",

@@ -1,0 +1,472 @@
+"""Pluggable fiber backends: how a simulated rank's call stack suspends.
+
+A *fiber* is one simulated MPI process: ordinary Python code whose entire
+call stack must suspend whenever it blocks inside a simulated MPI call and
+resume exactly where it left off when the scheduler hands back control.
+Two backends implement that contract behind one API:
+
+* :class:`ThreadFiber` (``"thread"``) — the pure-stdlib fallback.  Each
+  fiber runs on a pooled OS thread and the handoff is a 2-lock baton;
+  exactly one thread executes at any instant, so the simulation stays
+  deterministic, but every handoff pays two kernel-level context
+  switches (~10µs).
+* :class:`GreenletFiber` (``"greenlet"``) — the fast backend.  Each fiber
+  is a `greenlet <https://greenlet.readthedocs.io>`_: a real C-level
+  stack switch on **one** thread, no locks and no kernel involvement in
+  the handoff path (~0.1–0.5µs per switch).  Optional dependency —
+  ``pip install repro[fast]``.
+
+Both backends expose the same five-method lifecycle (:meth:`~BaseFiber.start`,
+:meth:`~BaseFiber.resume_and_wait`, :meth:`~BaseFiber.yield_to_scheduler`,
+:meth:`~BaseFiber.join`, :meth:`~BaseFiber.release`) plus the
+kill/shutdown-pending unwinding flags, and both must produce
+**byte-identical traces** for any simulation: the backend decides *how* a
+stack suspends, never *which* fiber runs next (that is the scheduling
+policy's job, see :mod:`repro.simmpi.scheduler`).  The golden determinism
+matrix in ``tests/test_determinism_golden.py`` pins that equivalence for
+every backend × policy combination.
+
+Backend selection (:func:`resolve_backend`), most specific wins:
+
+1. an explicit ``Simulation(fibers="thread"|"greenlet"|"auto")``;
+2. the ``REPRO_FIBERS`` environment variable — read per ``Runtime``
+   construction and inherited by pooled sweep workers, so one exported
+   variable switches a whole ``--workers N`` campaign;
+3. ``auto``: greenlet when importable, else the thread fallback.
+
+The active backend is recorded in ``result.perf.fibers`` and in every
+``BENCH_simperf.json`` counters block, but is — like ``wall_s`` — a host
+implementation detail: it is excluded from result digests, ``.repro.json``
+expect blocks, and run-cache payloads, which therefore remain valid across
+backends (see :func:`repro.analysis.digest.perf_dict`).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import threading
+from typing import Callable
+
+from .errors import ProcessKilled, SimShutdown
+
+try:  # optional extra: `pip install repro[fast]`
+    import greenlet as _greenlet
+except ImportError:  # pragma: no cover - exercised on stdlib-only installs
+    _greenlet = None
+
+
+class FiberState(enum.Enum):
+    """Lifecycle of a fiber (identical across backends)."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"  # fail-stop: fiber unwound via ProcessKilled
+
+
+class BaseFiber:
+    """Backend-independent fiber state and unwinding contract.
+
+    Subclasses supply the suspension mechanism (:meth:`start`,
+    :meth:`resume_and_wait`, :meth:`yield_to_scheduler`); everything the
+    runtime observes — :attr:`state`, :attr:`block_reason`, the
+    kill/shutdown-pending flags, :attr:`error`/:attr:`result` capture —
+    lives here and behaves identically on every backend.
+    """
+
+    #: Registry name of the backend ("thread" / "greenlet").
+    backend = "abstract"
+
+    __slots__ = (
+        "name",
+        "index",
+        "state",
+        "block_reason",
+        "kill_pending",
+        "shutdown_pending",
+        "error",
+        "result",
+        "_target",
+    )
+
+    def __init__(self, name: str, index: int, target: Callable[[], None]) -> None:
+        self.name = name
+        #: Dense index (the MPI world rank) used by scheduling policies.
+        self.index = index
+        self.state = FiberState.NEW
+        #: Human-readable reason the fiber is blocked (deadlock reports).
+        self.block_reason = ""
+        #: Set when the fiber must unwind with ProcessKilled on next resume.
+        self.kill_pending = False
+        #: Set when the fiber must unwind with SimShutdown on next resume.
+        self.shutdown_pending = False
+        #: Exception raised by the user target, if any (not kill/shutdown).
+        self.error: BaseException | None = None
+        #: Return value of the user target, if it completed normally.
+        self.result: object = None
+        self._target = target
+
+    # -- fiber side -------------------------------------------------------
+
+    def _check_pending(self) -> None:
+        """Raise the pending unwinding exception, if any (fiber side)."""
+        if self.kill_pending:
+            raise ProcessKilled()
+        if self.shutdown_pending:
+            raise SimShutdown()
+
+    def _run_target(self, wait: Callable[[], None] | None = None) -> None:
+        """Execute the application target with the unwinding contract.
+
+        *wait* (thread backend) blocks for the first baton and raises the
+        pending exception; it sits inside the try so a kill or shutdown
+        arriving before the fiber's first slice still unwinds cleanly.
+        Backends without an initial wait (greenlet: the first resume IS
+        the first entry) just re-check the pending flags.
+        """
+        try:
+            if wait is not None:
+                wait()
+            else:
+                self._check_pending()
+            self.result = self._target()
+            self.state = FiberState.DONE
+        except ProcessKilled:
+            self.state = FiberState.FAILED
+        except SimShutdown:
+            self.state = FiberState.DONE
+        except BaseException as exc:  # noqa: BLE001 - reported to driver
+            self.error = exc
+            self.state = FiberState.DONE
+
+    def yield_to_scheduler(self) -> None:
+        """Called *from the fiber itself* when it blocks.
+
+        Returns when the scheduler resumes this fiber, or raises
+        :class:`ProcessKilled` / :class:`SimShutdown` if the fiber was
+        killed or the simulation ended while it was blocked.
+        """
+        raise NotImplementedError
+
+    # -- scheduler side ---------------------------------------------------
+
+    def start(self) -> None:
+        """Make the fiber resumable (it runs no user code until the first
+        :meth:`resume_and_wait`)."""
+        raise NotImplementedError
+
+    def resume_and_wait(self) -> None:
+        """Hand control to this fiber and return when it yields or exits."""
+        raise NotImplementedError
+
+    def finished(self) -> bool:
+        return self.state in (FiberState.DONE, FiberState.FAILED)
+
+    def join(self) -> None:
+        """Wait for the fiber's bootstrap to complete (simulator teardown).
+
+        A no-op on every backend: completion is already synchronized by
+        the handoff itself — :meth:`resume_and_wait` only returns after
+        the bootstrap finished its slice, so a finished fiber holds no
+        reference into application code.  (The old ``timeout`` parameter
+        was dead since the pooled-worker rewrite and has been removed.)
+        """
+
+    def release(self) -> None:
+        """Drop the reference to the application target once the fiber
+        has finished, so a retained fiber (e.g. via a kept Simulation)
+        cannot pin per-run application state alive across a long sweep.
+        Safe no-op while the fiber still runs."""
+        if self.finished():
+            self._target = _released
+
+
+def _released() -> None:  # pragma: no cover - never executed
+    raise RuntimeError("fiber target was released after fiber exit")
+
+
+# ----------------------------------------------------------------------
+# Thread backend (pure stdlib)
+# ----------------------------------------------------------------------
+
+
+class _FiberWorker:
+    """One pooled OS thread that runs fiber bootstraps back to back.
+
+    Creating an OS thread costs tens of microseconds plus scheduler
+    setup; a sweep that runs thousands of short simulations pays that
+    for every rank of every run.  Workers instead park on a private
+    pre-acquired lock between assignments: :meth:`submit` hands them the
+    next fiber, and after the fiber's bootstrap returns they re-enter
+    the pool.  A worker only ever runs one fiber at a time and a fiber
+    is only submitted once, so the baton protocol is unchanged.
+    """
+
+    __slots__ = ("_task", "_task_ready", "thread")
+
+    def __init__(self) -> None:
+        self._task: "ThreadFiber | None" = None
+        self._task_ready = threading.Lock()
+        self._task_ready.acquire()
+        self.thread = threading.Thread(
+            target=self._run, name="sim-fiber-worker", daemon=True
+        )
+        self.thread.start()
+
+    def _run(self) -> None:
+        while True:
+            self._task_ready.acquire()
+            fiber = self._task
+            self._task = None
+            if fiber is None:  # pragma: no cover - retirement path
+                return
+            fiber._bootstrap()
+            if not _POOL.offer(self):
+                return  # pool full (or forked child): let the thread die
+
+    def submit(self, fiber: "ThreadFiber") -> None:
+        self._task = fiber
+        self._task_ready.release()
+
+
+class _WorkerPool:
+    """Process-wide free list of idle fiber workers (fork-aware)."""
+
+    def __init__(self, max_idle: int = 64) -> None:
+        self._lock = threading.Lock()
+        self._idle: list[_FiberWorker] = []
+        self._pid = os.getpid()
+        self._max_idle = max_idle
+
+    def get(self) -> _FiberWorker:
+        with self._lock:
+            if self._pid != os.getpid():
+                # Forked child: inherited workers' threads do not exist
+                # here; drop the bookkeeping and start fresh.
+                self._idle.clear()
+                self._pid = os.getpid()
+            if self._idle:
+                return self._idle.pop()
+        return _FiberWorker()
+
+    def offer(self, worker: _FiberWorker) -> bool:
+        """Return *worker* to the pool; False tells it to retire."""
+        with self._lock:
+            if self._pid == os.getpid() and len(self._idle) < self._max_idle:
+                self._idle.append(worker)
+                return True
+        return False  # pragma: no cover - overflow/fork retirement
+
+
+_POOL = _WorkerPool()
+
+
+class ThreadFiber(BaseFiber):
+    """The stdlib fallback: one pooled OS thread per fiber, baton handoff.
+
+    The baton is a ladder of two raw pre-acquired :class:`threading.Lock`
+    objects — ``_resume`` (scheduler → fiber) and ``_yielded`` (fiber →
+    scheduler).  Both start locked; a handoff is one ``release`` on the
+    peer's lock plus one blocking ``acquire`` on your own, so a full
+    round-trip costs four uncontended C-level lock operations **plus two
+    OS context switches** — the cost the greenlet backend removes.
+    Correctness relies on the strict alternation the scheduler already
+    guarantees: exactly one thread runs at any instant, so each lock is
+    released exactly once per handoff and re-locked by the blocking
+    acquire that consumes the release.
+    """
+
+    backend = "thread"
+
+    __slots__ = ("_resume", "_yielded", "_worker")
+
+    def __init__(self, name: str, index: int, target: Callable[[], None]) -> None:
+        super().__init__(name, index, target)
+        # Both rungs start locked; see the class docstring for the protocol.
+        self._resume = threading.Lock()
+        self._resume.acquire()
+        self._yielded = threading.Lock()
+        self._yielded.acquire()
+        # Assigned on start(): a pooled worker thread (see _FiberWorker).
+        self._worker: _FiberWorker | None = None
+
+    # -- thread side ------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        try:
+            # The initial baton wait sits inside _run_target's try: a kill
+            # or shutdown can arrive before the fiber's first slice.
+            self._run_target(wait=self._wait_for_baton)
+        finally:
+            self._yielded.release()
+
+    def _wait_for_baton(self) -> None:
+        self._resume.acquire()
+        self._check_pending()
+
+    def yield_to_scheduler(self) -> None:
+        self._yielded.release()
+        self._wait_for_baton()
+
+    # -- scheduler side ---------------------------------------------------
+
+    def start(self) -> None:
+        """Hand this fiber to a pooled thread (it immediately awaits the
+        baton)."""
+        self.state = FiberState.READY
+        self._worker = _POOL.get()
+        self._worker.submit(self)
+
+    def resume_and_wait(self) -> None:
+        self.state = FiberState.RUNNING
+        self._resume.release()
+        self._yielded.acquire()
+
+    def release(self) -> None:
+        super().release()
+        if self.finished():
+            self._worker = None
+
+
+# ----------------------------------------------------------------------
+# Greenlet backend (optional extra, single-threaded, zero-lock)
+# ----------------------------------------------------------------------
+
+
+class GreenletFiber(BaseFiber):
+    """The fast backend: one greenlet per fiber, no OS threads, no locks.
+
+    A handoff is a single C-level stack switch on the scheduler's own
+    thread — :meth:`resume_and_wait` switches into the fiber's greenlet,
+    :meth:`yield_to_scheduler` switches back to its parent (re-pointed at
+    the resuming greenlet on every handoff, so nested simulations and
+    pooled sweep workers all return to the right place).  When the
+    bootstrap returns, the greenlet dies and control falls back to the
+    parent automatically, which is exactly the thread backend's
+    "resume returns after the final slice" contract.
+
+    There is no per-process worker pool to manage and nothing to be
+    fork-aware about: a greenlet is plain memory, so a forked sweep
+    worker simply creates fresh ones.  Kill/fail-stop and shutdown
+    unwinding reuse the shared :class:`BaseFiber` contract — the pending
+    flags are checked on every resume (including the first, so a kill
+    arriving before the fiber's first slice never runs user code).
+    """
+
+    backend = "greenlet"
+
+    __slots__ = ("_glet",)
+
+    def __init__(self, name: str, index: int, target: Callable[[], None]) -> None:
+        if _greenlet is None:  # pragma: no cover - guarded by the registry
+            raise RuntimeError(
+                "the greenlet fiber backend requires the greenlet package "
+                "(pip install repro[fast])"
+            )
+        super().__init__(name, index, target)
+        self._glet: "_greenlet.greenlet | None" = None
+
+    # -- fiber side -------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        self._run_target()
+        # Returning kills the greenlet and switches to its parent — the
+        # scheduler greenlet blocked in resume_and_wait.
+
+    def yield_to_scheduler(self) -> None:
+        glet = self._glet
+        assert glet is not None
+        glet.parent.switch()
+        self._check_pending()
+
+    # -- scheduler side ---------------------------------------------------
+
+    def start(self) -> None:
+        """Create the greenlet (cheap: no stack exists until first switch)."""
+        self.state = FiberState.READY
+        self._glet = _greenlet.greenlet(self._bootstrap)
+
+    def resume_and_wait(self) -> None:
+        self.state = FiberState.RUNNING
+        glet = self._glet
+        assert glet is not None
+        # Re-parent on every handoff: the fiber must yield back to (and,
+        # on death, fall back to) whichever greenlet resumed it.
+        glet.parent = _greenlet.getcurrent()
+        glet.switch()
+
+    def release(self) -> None:
+        super().release()
+        if self.finished():
+            self._glet = None  # the dead greenlet and its exit state
+
+
+# ----------------------------------------------------------------------
+# Backend registry and selection
+# ----------------------------------------------------------------------
+
+#: Every backend name this build knows about (importable or not).
+FIBER_BACKENDS: tuple[str, ...] = ("thread", "greenlet")
+
+_IMPORTABLE: dict[str, type[BaseFiber]] = {"thread": ThreadFiber}
+if _greenlet is not None:
+    _IMPORTABLE["greenlet"] = GreenletFiber
+
+
+def greenlet_available() -> bool:
+    """Is the optional greenlet package importable in this process?"""
+    return _greenlet is not None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backends that can actually run here (test/bench matrices)."""
+    return tuple(n for n in FIBER_BACKENDS if n in _IMPORTABLE)
+
+
+def default_backend() -> str:
+    """What ``auto`` resolves to: greenlet when importable, else thread."""
+    return "greenlet" if _greenlet is not None else "thread"
+
+
+def resolve_backend(spec: str | None = None) -> str:
+    """Resolve a backend request to a concrete, importable backend name.
+
+    ``spec`` of ``None`` defers to the ``REPRO_FIBERS`` environment
+    variable (read per call, so pooled sweep workers — which inherit the
+    parent's environment — honor it without any extra plumbing), and an
+    empty/unset variable means ``auto``.  ``auto`` picks
+    :func:`default_backend`.  A concrete name is validated: unknown names
+    raise :class:`ValueError`; a known backend whose import is missing
+    (greenlet on a stdlib-only install) raises :class:`RuntimeError`.
+    """
+    if spec is None:
+        spec = os.environ.get("REPRO_FIBERS", "").strip() or "auto"
+    if spec == "auto":
+        return default_backend()
+    if spec not in FIBER_BACKENDS:
+        raise ValueError(
+            f"unknown fiber backend {spec!r} "
+            f"(known: auto, {', '.join(FIBER_BACKENDS)})"
+        )
+    if spec not in _IMPORTABLE:
+        raise RuntimeError(
+            f"fiber backend {spec!r} requested but the greenlet package is "
+            f"not importable; install it (pip install repro[fast]) or select "
+            f"the thread fallback (REPRO_FIBERS=thread)"
+        )
+    return spec
+
+
+def make_fiber(
+    backend: str, name: str, index: int, target: Callable[[], None]
+) -> BaseFiber:
+    """Instantiate one fiber on a resolved backend name."""
+    return _IMPORTABLE[backend](name, index, target)
+
+
+#: Back-compat alias: the stdlib fiber implementation (existing callers
+#: construct ``Fiber(...)`` directly and expect the thread baton).
+Fiber = ThreadFiber

@@ -41,10 +41,11 @@ from .errors import (
     SimulationDeadlock,
     SimulationError,
 )
+from .fibers import FiberState, make_fiber, resolve_backend
 from .matching import Message
 from .process import SimProcess
 from .request import Request, Status
-from .scheduler import Fiber, FiberState, SchedulingPolicy, make_policy
+from .scheduler import SchedulingPolicy, make_policy
 from .trace import Trace, TraceKind
 from .util import payload_nbytes
 
@@ -74,6 +75,7 @@ class Runtime:
         trace_enabled: bool = True,
         trace_cap: int | None = None,
         metrics: bool = False,
+        fibers: str | None = None,
         max_events: int = 20_000_000,
         max_time: float = float("inf"),
     ) -> None:
@@ -84,10 +86,16 @@ class Runtime:
         self.seed = seed
         self.policy = make_policy(policy, seed)
         self.policy.reset()
+        #: Resolved fiber backend name ("thread" / "greenlet"): explicit
+        #: ``fibers`` argument, else $REPRO_FIBERS, else auto (greenlet
+        #: when importable).  Traces are byte-identical across backends;
+        #: only handoff wall time changes.
+        self.fiber_backend = resolve_backend(fibers)
         self.clock = VirtualClock()
         self.events = EventQueue()
         self.trace = Trace(enabled=trace_enabled, cap=trace_cap)
         self.perf = PerfCounters()
+        self.perf.fibers = self.fiber_backend
         #: Kernel metrics accumulator (``repro.obs``), or ``None``.  Every
         #: hot-path hook is guarded with ``if obs is not None:`` so a run
         #: without ``metrics=True`` allocates no obs state and pays one
@@ -555,9 +563,15 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def attach_and_start(self, mains: Sequence[Callable[[SimProcess], Any]]) -> None:
-        """Create and launch one fiber per rank around the given mains."""
+        """Create and launch one fiber per rank around the given mains.
+
+        Fibers come from the active backend (:attr:`fiber_backend`): OS
+        threads with a baton handoff, or greenlets with single-threaded
+        zero-lock switches — same lifecycle either way.
+        """
         for proc, main in zip(self.procs, mains):
-            fiber = Fiber(
+            fiber = make_fiber(
+                self.fiber_backend,
                 name=f"rank-{proc.rank}",
                 index=proc.rank,
                 target=(lambda m=main, p=proc: m(p)),
@@ -632,14 +646,15 @@ class Runtime:
             perf.events_cancelled = events.cancelled_total
 
     def shutdown(self) -> None:
-        """Unwind every still-parked fiber and join its thread.
+        """Unwind every still-parked fiber and release it.
 
         Runs on **every** exit path of :meth:`Simulation.run` (normal
         completion, deadlock/abort returns, budget overruns, application
         errors), so batch drivers — a 10k-run in-process sweep — never
-        accumulate fiber threads across simulations.  After joining, each
-        fiber's reference to the application main is dropped so a kept
-        ``Simulation`` object cannot pin per-run application state alive.
+        accumulate fiber state (pooled threads or live greenlet stacks)
+        across simulations.  After joining, each fiber's reference to the
+        application main is dropped so a kept ``Simulation`` object
+        cannot pin per-run application state alive.
         """
         for proc in self.procs:
             fiber = proc.fiber
@@ -681,7 +696,8 @@ class SimulationResult:
     #: Ground-truth failed ranks at the end of the run.
     failed_ranks: frozenset[int] = frozenset()
     #: Kernel performance counters for this run (handoffs, events,
-    #: matches, wall seconds); see :class:`repro.perf.PerfCounters`.
+    #: matches, wall seconds, active fiber backend); see
+    #: :class:`repro.perf.PerfCounters`.
     perf: PerfCounters | None = None
     #: Kernel metric timelines (:class:`repro.obs.metrics.KernelMetrics`)
     #: when the simulation was built with ``metrics=True``; else ``None``.
@@ -722,6 +738,11 @@ class Simulation:
         result = sim.run(main)
 
     ``run`` may be given a single main (SPMD) or one main per rank.
+
+    ``fibers`` selects the fiber backend (``"thread"``, ``"greenlet"``,
+    ``"auto"``); ``None`` defers to ``$REPRO_FIBERS``, then auto.  The
+    backend changes only how fast handoffs are — traces, digests, and
+    reports are byte-identical across backends.
     """
 
     def __init__(
@@ -735,6 +756,7 @@ class Simulation:
         trace_enabled: bool = True,
         trace_cap: int | None = None,
         metrics: bool = False,
+        fibers: str | None = None,
         max_events: int = 20_000_000,
         max_time: float = float("inf"),
     ) -> None:
@@ -747,6 +769,7 @@ class Simulation:
             trace_enabled=trace_enabled,
             trace_cap=trace_cap,
             metrics=metrics,
+            fibers=fibers,
             max_events=max_events,
             max_time=max_time,
         )

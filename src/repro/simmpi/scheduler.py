@@ -1,252 +1,49 @@
 """Deterministic cooperative scheduling of simulated processes.
 
-Each simulated MPI rank runs ordinary Python code on its own OS thread,
-but **exactly one thread executes at any instant**: the scheduler hands a
-baton to one fiber, which runs until it blocks inside a simulated MPI call
-(or finishes), at which point the baton returns to the scheduler.  Because
-the code between two MPI calls is plain sequential Python, and because the
-scheduler picks the next runnable fiber with a deterministic policy, the
-entire simulation is reproducible bit-for-bit from its seed.
+Each simulated MPI rank runs ordinary Python code as a *fiber*: it
+executes until it blocks inside a simulated MPI call (or finishes), at
+which point control returns to the scheduler, which picks the next
+runnable fiber with a deterministic policy.  **Exactly one fiber executes
+at any instant**, so the entire simulation is reproducible bit-for-bit
+from its seed.
 
-This file knows nothing about MPI; it provides:
+The scheduling layer is split in two:
 
-* :class:`Fiber` — the baton-passing wrapper around one thread,
-* :class:`SchedulingPolicy` implementations — which runnable fiber goes
-  next (round-robin by rank, or seeded-random for interleaving
-  exploration),
-* kill/shutdown plumbing: a fiber can be made to unwind with
-  :class:`~repro.simmpi.errors.ProcessKilled` (fail-stop) or
-  :class:`~repro.simmpi.errors.SimShutdown` (end of simulation).
+* :mod:`repro.simmpi.fibers` — *how* a fiber's call stack suspends.  Two
+  pluggable backends implement one API: the pure-stdlib thread-baton
+  fallback (:class:`~repro.simmpi.fibers.ThreadFiber`) and the optional
+  single-threaded greenlet backend
+  (:class:`~repro.simmpi.fibers.GreenletFiber`, zero-lock handoffs,
+  ``pip install repro[fast]``).  Kill/fail-stop and shutdown unwinding
+  (:class:`~repro.simmpi.errors.ProcessKilled` /
+  :class:`~repro.simmpi.errors.SimShutdown`) behave identically on both.
+* this module — *which* runnable fiber goes next: the
+  :class:`SchedulingPolicy` implementations (round-robin, lowest rank
+  first, or seeded-random for interleaving exploration).
+
+Policies see only fiber indices and arrival order — never the suspension
+mechanism — which is why traces are byte-identical across fiber backends
+(pinned by the backend × policy golden matrix in
+``tests/test_determinism_golden.py``).
+
+The fiber classes are re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-import enum
 import heapq
-import os
 import random
-import threading
 from collections import deque
-from typing import Callable
 
-from .errors import ProcessKilled, SimShutdown
-
-
-class _FiberWorker:
-    """One pooled OS thread that runs fiber bootstraps back to back.
-
-    Creating an OS thread costs tens of microseconds plus scheduler
-    setup; a sweep that runs thousands of short simulations pays that
-    for every rank of every run.  Workers instead park on a private
-    pre-acquired lock between assignments: :meth:`submit` hands them the
-    next fiber, and after the fiber's bootstrap returns they re-enter
-    the pool.  A worker only ever runs one fiber at a time and a fiber
-    is only submitted once, so the baton protocol is unchanged.
-    """
-
-    __slots__ = ("_task", "_task_ready", "thread")
-
-    def __init__(self) -> None:
-        self._task: "Fiber | None" = None
-        self._task_ready = threading.Lock()
-        self._task_ready.acquire()
-        self.thread = threading.Thread(
-            target=self._run, name="sim-fiber-worker", daemon=True
-        )
-        self.thread.start()
-
-    def _run(self) -> None:
-        while True:
-            self._task_ready.acquire()
-            fiber = self._task
-            self._task = None
-            if fiber is None:  # pragma: no cover - retirement path
-                return
-            fiber._bootstrap()
-            if not _POOL.offer(self):
-                return  # pool full (or forked child): let the thread die
-
-    def submit(self, fiber: "Fiber") -> None:
-        self._task = fiber
-        self._task_ready.release()
-
-
-class _WorkerPool:
-    """Process-wide free list of idle fiber workers (fork-aware)."""
-
-    def __init__(self, max_idle: int = 64) -> None:
-        self._lock = threading.Lock()
-        self._idle: list[_FiberWorker] = []
-        self._pid = os.getpid()
-        self._max_idle = max_idle
-
-    def get(self) -> _FiberWorker:
-        with self._lock:
-            if self._pid != os.getpid():
-                # Forked child: inherited workers' threads do not exist
-                # here; drop the bookkeeping and start fresh.
-                self._idle.clear()
-                self._pid = os.getpid()
-            if self._idle:
-                return self._idle.pop()
-        return _FiberWorker()
-
-    def offer(self, worker: _FiberWorker) -> bool:
-        """Return *worker* to the pool; False tells it to retire."""
-        with self._lock:
-            if self._pid == os.getpid() and len(self._idle) < self._max_idle:
-                self._idle.append(worker)
-                return True
-        return False  # pragma: no cover - overflow/fork retirement
-
-
-_POOL = _WorkerPool()
-
-
-class FiberState(enum.Enum):
-    """Lifecycle of a fiber."""
-
-    NEW = "new"
-    READY = "ready"
-    RUNNING = "running"
-    BLOCKED = "blocked"
-    DONE = "done"
-    FAILED = "failed"  # fail-stop: thread unwound via ProcessKilled
-
-
-class Fiber:
-    """One simulated process: a thread that runs only when handed the baton.
-
-    The baton is a ladder of two raw pre-acquired :class:`threading.Lock`
-    objects — ``_resume`` (scheduler → fiber) and ``_yielded`` (fiber →
-    scheduler).  Both start locked; a handoff is one ``release`` on the
-    peer's lock plus one blocking ``acquire`` on your own, so a full
-    round-trip costs four uncontended C-level lock operations.  The
-    previous two-``threading.Event`` baton paid set/wait/clear (each a
-    condition-variable dance) on both sides — six Python-level event
-    operations per simulated MPI call.  Correctness relies on the strict
-    alternation the scheduler already guarantees: exactly one thread runs
-    at any instant, so each lock is released exactly once per handoff and
-    re-locked by the blocking acquire that consumes the release.
-    """
-
-    __slots__ = (
-        "name",
-        "index",
-        "state",
-        "block_reason",
-        "kill_pending",
-        "shutdown_pending",
-        "error",
-        "result",
-        "_target",
-        "_resume",
-        "_yielded",
-        "_worker",
-    )
-
-    def __init__(self, name: str, index: int, target: Callable[[], None]) -> None:
-        self.name = name
-        #: Dense index (the MPI world rank) used by scheduling policies.
-        self.index = index
-        self.state = FiberState.NEW
-        #: Human-readable reason the fiber is blocked (deadlock reports).
-        self.block_reason = ""
-        #: Set when the fiber must unwind with ProcessKilled on next resume.
-        self.kill_pending = False
-        #: Set when the fiber must unwind with SimShutdown on next resume.
-        self.shutdown_pending = False
-        #: Exception raised by the user target, if any (not kill/shutdown).
-        self.error: BaseException | None = None
-        #: Return value of the user target, if it completed normally.
-        self.result: object = None
-        self._target = target
-        # Both rungs start locked; see the class docstring for the protocol.
-        self._resume = threading.Lock()
-        self._resume.acquire()
-        self._yielded = threading.Lock()
-        self._yielded.acquire()
-        # Assigned on start(): a pooled worker thread (see _FiberWorker).
-        self._worker: _FiberWorker | None = None
-
-    # -- thread side ------------------------------------------------------
-
-    def _bootstrap(self) -> None:
-        try:
-            # The initial baton wait sits inside the try: a kill or
-            # shutdown can arrive before the fiber's first slice.
-            self._wait_for_baton()
-            self.result = self._target()
-            self.state = FiberState.DONE
-        except ProcessKilled:
-            self.state = FiberState.FAILED
-        except SimShutdown:
-            self.state = FiberState.DONE
-        except BaseException as exc:  # noqa: BLE001 - reported to driver
-            self.error = exc
-            self.state = FiberState.DONE
-        finally:
-            self._yielded.release()
-
-    def _wait_for_baton(self) -> None:
-        self._resume.acquire()
-        if self.kill_pending:
-            raise ProcessKilled()
-        if self.shutdown_pending:
-            raise SimShutdown()
-
-    def yield_to_scheduler(self) -> None:
-        """Called *from the fiber's own thread* when it blocks.
-
-        Returns when the scheduler resumes this fiber, or raises
-        :class:`ProcessKilled` / :class:`SimShutdown` if the fiber was
-        killed or the simulation ended while it was blocked.
-        """
-        self._yielded.release()
-        self._wait_for_baton()
-
-    # -- scheduler side ---------------------------------------------------
-
-    def start(self) -> None:
-        """Hand this fiber to a pooled thread (it immediately awaits the
-        baton)."""
-        self.state = FiberState.READY
-        self._worker = _POOL.get()
-        self._worker.submit(self)
-
-    def resume_and_wait(self) -> None:
-        """Hand the baton to this fiber and wait until it yields or exits."""
-        self.state = FiberState.RUNNING
-        self._resume.release()
-        self._yielded.acquire()
-
-    def finished(self) -> bool:
-        return self.state in (FiberState.DONE, FiberState.FAILED)
-
-    def join(self, timeout: float | None = 5.0) -> None:
-        """Wait for the fiber's bootstrap to complete (simulator teardown).
-
-        Pooled worker threads outlive the fiber, so there is no OS thread
-        to join; completion is already synchronized by the baton —
-        ``resume_and_wait`` only returns after the bootstrap's ``finally``
-        released the yield lock, at which point the worker holds no
-        reference into application code.  A started-but-unfinished fiber
-        (only possible through misuse: teardown resumes every parked
-        fiber first) is left alone, exactly like a hung thread was.
-        """
-
-    def release(self) -> None:
-        """Drop the reference to the application target once the fiber
-        has finished, so a retained Fiber (e.g. via a kept Simulation)
-        cannot pin per-run application state alive across a long sweep.
-        Safe no-op while the fiber still runs."""
-        if self.finished():
-            self._target = _released
-            self._worker = None
-
-
-def _released() -> None:  # pragma: no cover - never executed
-    raise RuntimeError("fiber target was released after thread exit")
+# Re-exported fiber API (implementations live in repro.simmpi.fibers).
+from .fibers import (  # noqa: F401 - backward-compatible re-exports
+    BaseFiber,
+    Fiber,
+    FiberState,
+    GreenletFiber,
+    ThreadFiber,
+    _released,
+)
 
 
 class SchedulingPolicy:
@@ -258,10 +55,10 @@ class SchedulingPolicy:
     runnable.
     """
 
-    def pick(self, ready: deque[Fiber]) -> Fiber:  # pragma: no cover - abstract
+    def pick(self, ready: deque[BaseFiber]) -> BaseFiber:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def has_ready(self, ready: deque[Fiber]) -> bool:
+    def has_ready(self, ready: deque[BaseFiber]) -> bool:
         """Is any fiber runnable (in *ready* or held by the policy)?"""
         return bool(ready)
 
@@ -272,7 +69,7 @@ class SchedulingPolicy:
 class RoundRobinPolicy(SchedulingPolicy):
     """FIFO over the ready queue: fair, deterministic, and cheap."""
 
-    def pick(self, ready: deque[Fiber]) -> Fiber:
+    def pick(self, ready: deque[BaseFiber]) -> BaseFiber:
         return ready.popleft()
 
 
@@ -290,21 +87,21 @@ class LowestRankFirstPolicy(SchedulingPolicy):
     """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[int, int, Fiber]] = []
+        self._heap: list[tuple[int, int, BaseFiber]] = []
         self._seq = 0
 
     def reset(self) -> None:
         self._heap.clear()
         self._seq = 0
 
-    def pick(self, ready: deque[Fiber]) -> Fiber:
+    def pick(self, ready: deque[BaseFiber]) -> BaseFiber:
         while ready:
             fiber = ready.popleft()
             heapq.heappush(self._heap, (fiber.index, self._seq, fiber))
             self._seq += 1
         return heapq.heappop(self._heap)[2]
 
-    def has_ready(self, ready: deque[Fiber]) -> bool:
+    def has_ready(self, ready: deque[BaseFiber]) -> bool:
         return bool(ready) or bool(self._heap)
 
 
@@ -323,7 +120,7 @@ class RandomPolicy(SchedulingPolicy):
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
 
-    def pick(self, ready: deque[Fiber]) -> Fiber:
+    def pick(self, ready: deque[BaseFiber]) -> BaseFiber:
         pos = self._rng.randrange(len(ready))
         fiber = ready[pos]
         del ready[pos]

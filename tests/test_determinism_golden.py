@@ -2,10 +2,13 @@
 
 The kernel hot path (fiber handoff, event queue, matching engine, trace
 recording) is rewritten for speed from time to time.  These tests pin the
-*exact* observable behaviour across such rewrites: for every scheduling
-policy, a failure-heavy ring scenario must produce a ``trace.format()``
-output that is byte-identical to the golden file checked in under
-``tests/golden/`` — and identical between two runs in the same process.
+*exact* observable behaviour across such rewrites: for every **fiber
+backend × scheduling policy** combination, a failure-heavy ring scenario
+must produce a ``trace.format()`` output that is byte-identical to the
+golden file checked in under ``tests/golden/`` — and identical between
+two runs in the same process.  One golden file per policy serves every
+backend: a fiber backend decides *how* a call stack suspends, never
+*which* fiber runs next, so switching backends must not move a byte.
 
 Regenerate the goldens (only when an *intentional* semantic change lands)
 with::
@@ -21,7 +24,7 @@ import pytest
 
 from repro.core import RingConfig, RingVariant, Termination, make_ring_main
 from repro.faults import KillAtProbe, KillAtTime
-from repro.simmpi import Simulation
+from repro.simmpi import Simulation, available_backends
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
@@ -35,14 +38,18 @@ CASES = [
     ("trace_random_s3", "random", 3),
 ]
 
+#: Every importable fiber backend verifies against the *same* goldens.
+BACKENDS = available_backends()
 
-def _run_scenario(policy: str, seed: int) -> str:
+
+def _run_scenario(policy: str, seed: int, fibers: str | None = None) -> str:
     """A failure-heavy 5-rank ring: one probe-window kill plus one timed
     kill, with a non-zero detection latency so DETECT events land at
     distinct times.  Deadlocks are returned (recorded in the trace), not
     raised, so every policy yields a complete timeline."""
     sim = Simulation(
-        nprocs=5, seed=seed, policy=policy, detection_latency=2e-6
+        nprocs=5, seed=seed, policy=policy, detection_latency=2e-6,
+        fibers=fibers,
     )
     sim.add_injector(KillAtProbe(rank=2, probe="post_recv", hit=2))
     sim.add_injector(KillAtTime(rank=3, time=1.5e-5))
@@ -55,15 +62,22 @@ def _run_scenario(policy: str, seed: int) -> str:
     return result.trace.format() + "\n"
 
 
+@pytest.mark.parametrize("fibers", BACKENDS)
 @pytest.mark.parametrize("stem,policy,seed", CASES)
-def test_trace_matches_golden(stem: str, policy: str, seed: int) -> None:
+def test_trace_matches_golden(
+    stem: str, policy: str, seed: int, fibers: str
+) -> None:
     golden = (GOLDEN_DIR / f"{stem}.txt").read_text()
-    assert _run_scenario(policy, seed) == golden
+    assert _run_scenario(policy, seed, fibers) == golden
 
 
+@pytest.mark.parametrize("fibers", BACKENDS)
 @pytest.mark.parametrize("stem,policy,seed", CASES)
-def test_trace_stable_across_runs(stem: str, policy: str, seed: int) -> None:
-    assert _run_scenario(policy, seed) == _run_scenario(policy, seed)
+def test_trace_stable_across_runs(
+    stem: str, policy: str, seed: int, fibers: str
+) -> None:
+    assert (_run_scenario(policy, seed, fibers)
+            == _run_scenario(policy, seed, fibers))
 
 
 if __name__ == "__main__":

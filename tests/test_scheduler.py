@@ -6,9 +6,8 @@ from collections import deque
 
 import pytest
 
-from repro.simmpi import Simulation
+from repro.simmpi import Simulation, available_backends, make_fiber
 from repro.simmpi.scheduler import (
-    Fiber,
     FiberState,
     LowestRankFirstPolicy,
     RandomPolicy,
@@ -61,35 +60,37 @@ class TestPolicies:
             make_policy("bogus")
 
 
+@pytest.mark.parametrize("backend", available_backends())
 class TestFiberHandoff:
-    def test_fiber_runs_to_completion(self):
+    def test_fiber_runs_to_completion(self, backend):
         out = []
-        f = Fiber("t", 0, lambda: out.append("ran"))
+        f = make_fiber(backend, name="t", index=0,
+                       target=lambda: out.append("ran"))
         f.start()
         f.resume_and_wait()
         assert out == ["ran"]
         assert f.state is FiberState.DONE
         f.join()
 
-    def test_fiber_result_captured(self):
-        f = Fiber("t", 0, lambda: 42)
+    def test_fiber_result_captured(self, backend):
+        f = make_fiber(backend, name="t", index=0, target=lambda: 42)
         f.start()
         f.resume_and_wait()
         assert f.result == 42
         f.join()
 
-    def test_fiber_error_captured(self):
+    def test_fiber_error_captured(self, backend):
         def boom():
             raise ValueError("nope")
 
-        f = Fiber("t", 0, boom)
+        f = make_fiber(backend, name="t", index=0, target=boom)
         f.start()
         f.resume_and_wait()
         assert isinstance(f.error, ValueError)
         assert f.state is FiberState.DONE
         f.join()
 
-    def test_shutdown_unwinds_blocked_fiber(self):
+    def test_shutdown_unwinds_blocked_fiber(self, backend):
         # Exercised through the Simulation facade: a rank that blocks
         # forever is unwound at shutdown after a deadlock is reported.
         def main(mpi):
@@ -98,10 +99,11 @@ class TestFiberHandoff:
                 comm.recv(source=1)  # never sent
             return "done"
 
-        r = Simulation(nprocs=2).run(main, on_deadlock="return")
+        r = Simulation(nprocs=2, fibers=backend).run(
+            main, on_deadlock="return"
+        )
         assert r.hung
         assert r.outcomes[1].value == "done"
-
 
 class TestSchedulingDeterminism:
     def test_policies_change_interleaving_not_results(self):
