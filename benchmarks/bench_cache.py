@@ -15,7 +15,14 @@ marker variant):
   equals the cold one and, when the cold series ran in the same
   session, that warm is at least **5x** faster.
 
-Both series land in ``BENCH_simperf.json`` with their ``cache_*``
+PR 7's backend split adds the campaign-scale series: a synthetic store
+of 10^4 entries, warm-looked-up via one ``get_many`` per round, once
+per backend.  ``bench_cache_lookup_sqlite`` asserts the WAL database
+answers the batch at least **5x** faster than the sharded-JSON layout —
+the number that makes million-run campaigns practical (JSON pays one
+``open``/``read``/``parse`` per key; SQLite pays ~20 indexed queries).
+
+All series land in ``BENCH_simperf.json`` with their ``cache_*``
 counter deltas (see ``conftest.timed``), so the trajectory file records
 the hit/miss traffic alongside the wall times.
 """
@@ -27,6 +34,7 @@ import tempfile
 from pathlib import Path
 
 from repro.analysis import ascii_table
+from repro.cache import RunCache
 from repro.faults import explore
 from repro.parallel import RingScenario, StandardRingInvariants
 from conftest import _PERF, emit, timed
@@ -107,4 +115,67 @@ def bench_explore_cache_warm(benchmark):
     emit(
         "run-cache warm sweep (same store, all hits)",
         ascii_table(["mode", "min wall s", "speedup"], rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Backend lookup series: sharded JSON vs SQLite WAL at campaign scale
+# ---------------------------------------------------------------------------
+
+LOOKUP_ENTRIES = 10_000
+LOOKUP_SPEEDUP_FLOOR = 5.0
+
+
+def _synthetic_store(backend: str, root: Path) -> tuple[RunCache, list[str]]:
+    """10^4 entries with campaign-shaped payloads, stored untimed."""
+    cache = RunCache(root, backend=backend)
+    keys = [f"{i:064x}" for i in range(LOOKUP_ENTRIES)]
+    cache.put_many(
+        (
+            key,
+            {"hung": False, "violations": [], "digest": key[:16], "seed": i},
+            ("bench-entry", i),
+        )
+        for i, key in enumerate(keys)
+    )
+    return cache, keys
+
+
+def _bench_lookup(benchmark, backend: str):
+    d = tempfile.mkdtemp(prefix=f"repro-bench-{backend}-")
+    try:
+        cache, keys = _synthetic_store(backend, Path(d))
+
+        def lookup():
+            got = cache.get_many(keys)
+            assert all(status == "hit" for status, _ in got)
+            return got
+
+        timed(benchmark, lookup)
+    finally:
+        shutil.rmtree(d, ignore_errors=True)
+
+
+def bench_cache_lookup_json(benchmark):
+    _bench_lookup(benchmark, "json")
+
+
+def bench_cache_lookup_sqlite(benchmark):
+    _bench_lookup(benchmark, "sqlite")
+    sqlite_s = min(_PERF["bench_cache_lookup_sqlite"])
+    rows = [["sqlite", f"{sqlite_s:.4f}", "-"]]
+    json_series = _PERF.get("bench_cache_lookup_json")
+    if json_series:
+        json_s = min(json_series)
+        speedup = json_s / sqlite_s if sqlite_s > 0 else float("inf")
+        rows.insert(0, ["json", f"{json_s:.4f}", "-"])
+        rows[-1][-1] = f"{speedup:.1f}x"
+        assert speedup >= LOOKUP_SPEEDUP_FLOOR, (
+            f"sqlite warm lookup only {speedup:.1f}x faster than json "
+            f"at {LOOKUP_ENTRIES} entries (floor: {LOOKUP_SPEEDUP_FLOOR}x)"
+        )
+    emit(
+        f"cache backend warm lookup ({LOOKUP_ENTRIES} entries, one "
+        f"get_many per round)",
+        ascii_table(["backend", "min wall s", "speedup"], rows),
     )

@@ -1,0 +1,81 @@
+"""EXP-STREAM — the streaming sweep pipeline vs materialized batches.
+
+``run_campaign(..., stream=True)`` folds runs into a summary as they
+complete instead of building the full job and result lists, holding
+O(window + failures) memory however large the campaign.  Its cost model
+must be a wash: the same simulations execute either way, so streaming
+may only add windowing overhead.  Two series pin that:
+
+* ``bench_campaign_materialized`` — the classic list-in/list-out path;
+* ``bench_campaign_streamed`` — the bounded-window generator path; the
+  bench asserts the reports are byte-identical and that streaming costs
+  at most a modest constant factor over materializing (it is usually
+  within noise of 1.0x — the simulations dominate).
+
+Both land in ``BENCH_simperf.json``; ``REPRO_BENCH_WORKERS`` fans the
+runs across a pool in either mode.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_table
+from repro.faults import run_campaign
+from repro.parallel import RingScenario, StandardRingInvariants
+from conftest import _PERF, emit, sweep_runner, timed
+
+N = 4
+ITERS = 3
+RUNS = 300
+SCENARIO = RingScenario(nprocs=N, iters=ITERS)
+INVARIANTS = StandardRingInvariants(ITERS, N)
+#: Streaming may not cost more than this over the materialized path.
+OVERHEAD_CEILING = 1.25
+
+
+def _campaign(stream: bool):
+    return run_campaign(
+        SCENARIO,
+        seeds=range(RUNS),
+        horizon=2e-5,
+        invariants=INVARIANTS,
+        runner=sweep_runner(),
+        stream=stream,
+    )
+
+
+def bench_campaign_materialized(benchmark):
+    reports = []
+    timed(benchmark, lambda: reports.append(_campaign(stream=False)))
+    s = reports[-1].summary()
+    emit(
+        f"campaign, materialized ({RUNS} runs, fig2 ring n={N})",
+        ascii_table(
+            ["runs", "ok", "hangs", "violations", "aborts"],
+            [[s["runs"], s["ok"], s["hangs"], s["violations"], s["aborts"]]],
+        ),
+    )
+    assert s["runs"] == RUNS
+
+
+def bench_campaign_streamed(benchmark):
+    reports = []
+    timed(benchmark, lambda: reports.append(_campaign(stream=True)))
+    streamed = reports[-1]
+    assert streamed.format() == _campaign(stream=False).format()
+
+    streamed_s = min(_PERF["bench_campaign_streamed"])
+    rows = [["streamed", f"{streamed_s:.4f}", "-"]]
+    mat_series = _PERF.get("bench_campaign_materialized")
+    if mat_series:
+        mat_s = min(mat_series)
+        ratio = streamed_s / mat_s if mat_s > 0 else float("inf")
+        rows.insert(0, ["materialized", f"{mat_s:.4f}", "-"])
+        rows[-1][-1] = f"{ratio:.2f}x"
+        assert ratio <= OVERHEAD_CEILING, (
+            f"streaming cost {ratio:.2f}x the materialized sweep "
+            f"(ceiling: {OVERHEAD_CEILING}x)"
+        )
+    emit(
+        "campaign, streamed (same runs through bounded windows)",
+        ascii_table(["mode", "min wall s", "overhead"], rows),
+    )

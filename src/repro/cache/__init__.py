@@ -9,10 +9,14 @@ any later sweep that asks the same question.  Three layers:
   full determinism surface (scenario, policy + seed, cost/jitter
   parameters, fault schedule, trace flag), salted with the package
   version and the active mutation set;
-* :mod:`repro.cache.store` — the on-disk store (sharded JSON entries,
-  flock-guarded atomic writes) plus ``stats``/``gc``/``verify``
-  maintenance, where ``verify`` re-executes a sample of entries and
-  diffs payloads field by field;
+* :mod:`repro.cache.store` — the on-disk store behind a pluggable
+  :class:`~repro.cache.store.CacheStore` interface with two backends
+  (sharded JSON files with flock-guarded atomic writes; a SQLite-WAL
+  database with batched transactional reads/writes — see
+  :mod:`repro.cache.sqlite_store`), selected via ``RunCache(backend=)``
+  / ``$REPRO_CACHE_BACKEND`` / directory auto-detection, plus
+  ``stats``/``gc``/``verify``/``migrate`` maintenance, where ``verify``
+  re-executes a sample of entries and diffs payloads field by field;
 * :mod:`repro.cache.runner` — :class:`CachedRunner`, a drop-in
   :class:`~repro.parallel.runner.SweepRunner` wrapper serving hits
   parent-side and delegating misses to any inner runner.
@@ -24,16 +28,31 @@ uncached one — the cache changes wall-clock time and nothing else.
 
 from .keys import KEY_FORMAT, Uncacheable, canonical_token, job_key
 from .runner import CachedRunner
-from .store import RunCache, VerifyResult, default_cache_dir, diff_payload
+from .store import (
+    BACKENDS,
+    CacheStore,
+    JsonStore,
+    RunCache,
+    VerifyResult,
+    default_cache_dir,
+    detect_backend,
+    diff_payload,
+    make_store,
+)
 
 __all__ = [
+    "BACKENDS",
+    "CacheStore",
     "CachedRunner",
+    "JsonStore",
     "KEY_FORMAT",
     "RunCache",
     "Uncacheable",
     "VerifyResult",
     "canonical_token",
     "default_cache_dir",
+    "detect_backend",
     "diff_payload",
     "job_key",
+    "make_store",
 ]

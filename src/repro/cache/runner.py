@@ -9,9 +9,13 @@ and performs the stores as results come back.  Three things fall out:
 * the hit/miss/stale/store counters in :data:`repro.perf.CACHE` are
   exact even for pooled sweeps (worker-side counters would be lost at
   the pool boundary);
-* the store sees one writer per sweep parent, so the flock in
-  :class:`~repro.cache.store.RunCache` is enough for concurrent
-  campaigns sharing a cache directory;
+* the store sees one writer per sweep parent, so the backend's own
+  coordination (flock on the JSON store, WAL on the SQLite store) is
+  enough for concurrent campaigns sharing a cache directory;
+* lookups and stores are *batched* — one ``get_many`` per ``run()``
+  call (one per window when streaming via ``run_stream``) and one
+  ``put_many`` for all the misses, instead of a store round-trip per
+  job;
 * workers stay oblivious to caching — a miss crosses the pool wrapped
   in :class:`_MissJob`, which calls the job's ``cache_payload()`` *in
   the worker* (where the trace exists, so digests cost nothing extra to
@@ -66,22 +70,30 @@ class CachedRunner(SweepRunner):
         cache: RunCache | str | None = None,
         inner: SweepRunner | None = None,
     ) -> None:
+        super().__init__()
         self.cache = RunCache.at(cache)
         self.inner = inner or SerialRunner()
 
     def run(self, jobs: Sequence[SweepJob]) -> list[Any]:
         jobs = list(jobs)
         results: list[Any] = [_PENDING] * len(jobs)
+        keys = [job_key(job) for job in jobs]
+        # One batched store round-trip for the whole job list (a single
+        # SQL query on the sqlite backend) instead of one read per job.
+        cacheable = [i for i, key in enumerate(keys) if key is not None]
+        fetched = dict(
+            zip(cacheable, self.cache.get_many([keys[i] for i in cacheable]))
+        )
         #: (submission index, key or None, job-to-execute) per pending job.
         pending: list[tuple[int, str | None, SweepJob]] = []
         for i, job in enumerate(jobs):
-            key = job_key(job)
+            key = keys[i]
             if key is None:
                 # Not part of the cache contract (or vetoed): pass the
                 # job through untouched, count nothing.
                 pending.append((i, None, job))
                 continue
-            status, payload = self.cache.fetch(key)
+            status, payload = fetched[i]
             if status == "hit":
                 try:
                     results[i] = job.from_cached(payload)
@@ -102,6 +114,7 @@ class CachedRunner(SweepRunner):
             # own submission order) back onto the full job list; cache
             # hits never executed, so they keep zero retries.
             inner_retries = getattr(self.inner, "job_retries", None)
+            stores: list[tuple[str, dict[str, Any], Any]] = []
             for j, ((i, key, wrapped), value) in enumerate(
                 zip(pending, executed)
             ):
@@ -112,6 +125,9 @@ class CachedRunner(SweepRunner):
                     continue
                 outcome, payload = value
                 results[i] = outcome
-                self.cache.put(key, payload, wrapped.job)
-                perf.CACHE.stores += 1
+                stores.append((key, payload, wrapped.job))
+            if stores:
+                # One transaction / one lock acquisition for the batch.
+                self.cache.put_many(stores)
+                perf.CACHE.stores += len(stores)
         return results

@@ -1,0 +1,227 @@
+"""SQLite-WAL backend for the run cache.
+
+One database file (``root/cache.sqlite``), one table keyed by job key,
+each row holding the same JSON entry the sharded-JSON backend would
+have written to its own file.  What this buys over one-file-per-entry:
+
+* **Batched lookups** — ``read_many`` is chunked ``SELECT … WHERE key
+  IN (…)`` statements instead of one ``open``/``read``/``parse`` per
+  job, which is the difference between 10^4 and 10^6 warm lookups per
+  campaign (measured in ``benchmarks/bench_cache.py``).
+* **Batched stores** — ``write_many`` is a single transaction around
+  ``executemany``, amortizing the fsync.
+* **Concurrent writers** — WAL mode lets the serial runner, pool
+  parents, and ``repro cache gc`` interleave without the flock dance;
+  ``busy_timeout`` turns short lock contention into a wait instead of
+  an error.
+
+The payload format is byte-for-byte the entry dict from
+:meth:`RunCache._make_entry`, so ``verify``/``gc``/``migrate`` work on
+rows exactly as they do on files.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from .store import CORRUPT, CacheStore
+
+__all__ = ["DB_FILENAME", "SqliteStore"]
+
+#: Database filename under the cache root (also the auto-detection marker).
+DB_FILENAME = "cache.sqlite"
+
+#: Max keys per ``IN (…)`` clause — comfortably under SQLite's default
+#: 32766 bound-parameter limit while keeping statements cacheable.
+_SELECT_CHUNK = 500
+
+_SCHEMA = """\
+CREATE TABLE IF NOT EXISTS entries (
+    key       TEXT PRIMARY KEY,
+    format    TEXT NOT NULL,
+    stored_at REAL NOT NULL,
+    payload   TEXT NOT NULL,
+    data      TEXT NOT NULL
+) WITHOUT ROWID
+"""
+
+_INSERT = (
+    "INSERT OR REPLACE INTO entries"
+    " (key, format, stored_at, payload, data) VALUES (?, ?, ?, ?, ?)"
+)
+
+
+class SqliteStore(CacheStore):
+    """Run-cache entries in a single WAL-mode SQLite database."""
+
+    name = "sqlite"
+
+    def __init__(self, root: Path) -> None:
+        super().__init__(root)
+        self.path = self.root / DB_FILENAME
+        # sqlite3 connections are not shareable across threads/forked
+        # children; keep one per thread and re-open lazily after fork.
+        self._local = threading.local()
+
+    # -- connection handling -------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        import os
+
+        conn = getattr(self._local, "conn", None)
+        pid = getattr(self._local, "pid", None)
+        if conn is not None and pid == os.getpid():
+            return conn
+        self.root.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        with conn:
+            conn.execute(_SCHEMA)
+        self._local.conn = conn
+        self._local.pid = os.getpid()
+        return conn
+
+    # -- single-entry primitives ----------------------------------------
+
+    def read(self, key: str) -> dict[str, Any] | None:
+        row = self._conn().execute(
+            "SELECT data FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return self._parse(row[0])
+
+    @staticmethod
+    def _parse(data: str) -> dict[str, Any]:
+        try:
+            entry = json.loads(data)
+        except ValueError:
+            return CORRUPT
+        return entry if isinstance(entry, dict) else CORRUPT
+
+    def write(self, key: str, entry: dict[str, Any]) -> None:
+        conn = self._conn()
+        with conn:
+            conn.execute(_INSERT, self._row(key, entry))
+
+    def delete(self, key: str) -> None:
+        conn = self._conn()
+        with conn:
+            conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+
+    def keys(self) -> Iterator[str]:
+        if not self.path.exists():
+            return iter(())
+        rows = self._conn().execute(
+            "SELECT key FROM entries ORDER BY key"
+        ).fetchall()
+        return iter([r[0] for r in rows])
+
+    def size_bytes(self) -> int:
+        total = 0
+        # WAL mode spreads live data over cache.sqlite{,-wal,-shm}.
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total += Path(str(self.path) + suffix).stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def clear(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+        for suffix in ("", "-wal", "-shm"):
+            Path(str(self.path) + suffix).unlink(missing_ok=True)
+
+    # -- batched operations ---------------------------------------------
+
+    def read_many(self, keys: Sequence[str]) -> list[dict[str, Any] | None]:
+        """Batched read, trimmed to the fetch-classification fields.
+
+        Returns entries of the shape ``{"format", "key", "payload"}`` —
+        what :meth:`RunCache._classify` consumes — by reading the
+        ``format`` and ``payload`` *columns* instead of parsing the full
+        entry JSON (whose base64 job pickle dominates parse time but is
+        only needed by ``verify``; use :meth:`read` for complete
+        entries).  This is where the warm-lookup speedup over the JSON
+        backend comes from at campaign scale.
+        """
+        if not keys:
+            return []
+        conn = self._conn()
+        found: dict[str, tuple[str, str]] = {}
+        for start in range(0, len(keys), _SELECT_CHUNK):
+            chunk = keys[start : start + _SELECT_CHUNK]
+            marks = ",".join("?" * len(chunk))
+            for key, fmt, payload in conn.execute(
+                f"SELECT key, format, payload FROM entries"
+                f" WHERE key IN ({marks})",
+                tuple(chunk),
+            ):
+                found[key] = (fmt, payload)
+        payloads = self._parse_payloads([v[1] for v in found.values()])
+        parsed = {
+            key: {"format": fmt, "key": key, "payload": value}
+            if isinstance(value, dict)
+            else CORRUPT
+            for (key, (fmt, _)), value in zip(found.items(), payloads)
+        }
+        return [parsed.get(k) for k in keys]
+
+    @staticmethod
+    def _parse_payloads(texts: list[str]) -> list[Any]:
+        """Parse many payload JSON strings with **one** ``json.loads``.
+
+        Joining into a single array and parsing once stays in the C
+        decoder for the whole batch — per-call overhead is most of the
+        cost of 10^4 tiny parses.  Any corrupt row poisons the joined
+        parse, so fall back to per-entry parsing (returning ``CORRUPT``
+        sentinels for the bad ones) only on that rare path.
+        """
+        try:
+            return json.loads(f"[{','.join(texts)}]") if texts else []
+        except ValueError:
+            out: list[Any] = []
+            for text in texts:
+                try:
+                    out.append(json.loads(text))
+                except ValueError:
+                    out.append(CORRUPT)
+            return out
+
+    def write_many(self, items: Iterable[tuple[str, dict[str, Any]]]) -> None:
+        conn = self._conn()
+        with conn:
+            conn.executemany(
+                _INSERT, (self._row(key, entry) for key, entry in items)
+            )
+
+    def delete_many(self, keys: Sequence[str]) -> None:
+        if not keys:
+            return
+        conn = self._conn()
+        with conn:
+            conn.executemany(
+                "DELETE FROM entries WHERE key = ?", [(k,) for k in keys]
+            )
+
+    @staticmethod
+    def _row(
+        key: str, entry: dict[str, Any]
+    ) -> tuple[str, str, float, str, str]:
+        stored = entry.get("stored_at")
+        return (
+            key,
+            str(entry.get("format", "")),
+            float(stored) if isinstance(stored, (int, float)) else 0.0,
+            json.dumps(entry.get("payload"), sort_keys=True),
+            json.dumps(entry, sort_keys=True),
+        )

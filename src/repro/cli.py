@@ -47,10 +47,20 @@ Subcommands
 
 ``cache``
     Inspect and maintain the content-addressed run cache
-    (``stats`` / ``gc`` / ``verify``).  The sweep subcommands
-    (``explore``, ``campaign``, ``fuzz``) take ``--cache`` to reuse
-    classified outcomes across invocations; reports stay byte-identical
-    (a ``[cache] hits=…`` accounting line goes to stderr).
+    (``stats`` / ``gc`` / ``verify`` / ``migrate``).  The sweep
+    subcommands (``explore``, ``campaign``, ``fuzz``) take ``--cache``
+    to reuse classified outcomes across invocations; reports stay
+    byte-identical (a ``[cache] hits=…`` accounting line goes to
+    stderr).  Two store backends: sharded JSON files (default) and a
+    single SQLite WAL database (``--cache-backend sqlite`` /
+    ``$REPRO_CACHE_BACKEND``); ``cache migrate --to`` converts between
+    them.
+
+The sweep subcommands also take ``--stream``: jobs flow through the
+bounded-window streaming pipeline and are folded into running counts,
+so a million-run campaign needs O(failures) memory while printing the
+identical report.  ``fuzz --coverage`` switches to coverage-guided
+fuzzing (novel-cell corpus + mutation; see ``docs/testing.md``).
 
 Examples::
 
@@ -164,11 +174,25 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
         help="cache directory (default: $REPRO_CACHE_DIR, else "
              "~/.cache/repro/runs)",
     )
+    p.add_argument(
+        "--cache-backend", default=None, choices=["json", "sqlite"],
+        help="cache store backend: 'sqlite' (one WAL database, batched "
+             "lookups) or 'json' (one file per entry); default: "
+             "$REPRO_CACHE_BACKEND, else whatever the directory already "
+             "holds, else json",
+    )
 
 
 def _cache_arg(args: argparse.Namespace):
     """What the sweep entry points expect: ``None`` (off), a directory,
-    or ``True`` (the default directory)."""
+    or ``True`` (the default directory).
+
+    ``--cache-backend`` is published as ``$REPRO_CACHE_BACKEND`` (the
+    same pattern as ``--fibers``): every ``RunCache`` constructed in
+    this process — including inside sweep entry points that only take a
+    directory — resolves the backend from the environment."""
+    if getattr(args, "cache_backend", None):
+        os.environ["REPRO_CACHE_BACKEND"] = args.cache_backend
     if not args.cache:
         return None
     return args.cache_dir if args.cache_dir is not None else True
@@ -306,6 +330,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         cache=_cache_arg(args),
         progress=progress,
         telemetry=args.telemetry,
+        stream=args.stream,
     )
     print(rep.format())
     _report_cache(args, before)
@@ -330,6 +355,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=_cache_arg(args),
         telemetry=args.telemetry,
+        stream=args.stream,
     )
     print(rep.format())
     _report_cache(args, before)
@@ -449,6 +475,25 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import fuzz, write_repro
     from .parallel import make_runner
 
+    if args.coverage:
+        from .fuzz import coverage_fuzz
+
+        rep = coverage_fuzz(
+            _fuzz_scenario(args),
+            budget=args.runs,
+            seed=args.fuzz_seed,
+            runner=make_runner(args.workers),
+            guided=not args.coverage_uniform,
+            max_jitter=args.max_jitter,
+            min_kills=args.min_kills,
+            max_kills=args.max_kills,
+            horizon=args.horizon,
+        )
+        print(rep.format())
+        if args.coverage_out:
+            print(f"wrote {rep.write(args.coverage_out)}", file=sys.stderr)
+        return 1 if rep.failures else 0
+
     before = _cache_counters_snapshot(args)
     report = fuzz(
         _fuzz_scenario(args),
@@ -462,8 +507,10 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         max_kills=args.max_kills,
         horizon=args.horizon,
         telemetry=args.telemetry,
+        stream=args.stream,
     )
-    print(report.format(verbose=args.verbose))
+    print(report.format(verbose=args.verbose)
+          if not args.stream else report.format())
     _report_cache(args, before)
     if args.out_dir and report.failures:
         out = Path(args.out_dir)
@@ -503,13 +550,22 @@ def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect and maintain the content-addressed run cache."""
     from .cache import RunCache
 
-    cache = RunCache.at(args.cache_dir)
+    cache = RunCache.at(args.cache_dir, backend=args.backend)
     if args.cache_cmd == "stats":
         s = cache.stats()
         print(f"root:     {s['root']}")
+        print(f"backend:  {s['backend']}")
         print(f"format:   {s['format']}")
         print(f"entries:  {s['entries']}")
         print(f"size:     {s['total_bytes']} bytes")
+        return 0
+    if args.cache_cmd == "migrate":
+        counts = cache.migrate(args.to, dest=args.dest)
+        where = args.dest or cache.root
+        print(f"migrated {counts['migrated']} entr(ies) to "
+              f"{counts['backend']} at {where}"
+              + (f" ({counts['skipped']} corrupt skipped)"
+                 if counts["skipped"] else ""))
         return 0
     if args.cache_cmd == "gc":
         max_age = args.max_age_days * 86400.0 if args.max_age_days else None
@@ -682,6 +738,9 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--telemetry", default=None, metavar="FILE",
                     help="stream per-job telemetry (JSONL) to FILE; "
                          "aggregate later with `repro report FILE`")
+    ex.add_argument("--stream", action="store_true",
+                    help="pipe windows through the streaming pipeline "
+                         "(O(failures) memory; same report text)")
     _add_cache_args(ex)
     ex.set_defaults(fn=cmd_explore)
 
@@ -711,6 +770,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--telemetry", default=None, metavar="FILE",
                       help="stream per-job telemetry (JSONL) to FILE; "
                            "aggregate later with `repro report FILE`")
+    camp.add_argument("--stream", action="store_true",
+                      help="pipe runs through the streaming pipeline — "
+                           "memory stays O(failures) however large --runs "
+                           "gets; the report text is identical")
     _add_cache_args(camp)
     camp.set_defaults(fn=cmd_campaign)
 
@@ -801,6 +864,19 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--telemetry", default=None, metavar="FILE",
                     help="stream per-job telemetry (JSONL) to FILE; "
                          "aggregate later with `repro report FILE`")
+    fz.add_argument("--stream", action="store_true",
+                    help="pipe configs through the streaming pipeline "
+                         "(O(failures) memory; --verbose unavailable)")
+    fz.add_argument("--coverage", action="store_true",
+                    help="coverage-guided mode: keep configs that hit "
+                         "novel coverage cells and mutate them (--runs "
+                         "becomes the total run budget)")
+    fz.add_argument("--coverage-uniform", action="store_true",
+                    help="disable the feedback loop (uniform baseline "
+                         "for guided-vs-uniform comparisons)")
+    fz.add_argument("--coverage-out", default=None, metavar="FILE",
+                    help="write the coverage report (cells, outcome "
+                         "histogram, failing configs) as JSON to FILE")
     _add_cache_args(fz)
     fz.set_defaults(fn=cmd_fuzz)
 
@@ -810,9 +886,22 @@ def build_parser() -> argparse.ArgumentParser:
     ca.add_argument("--cache-dir", default=None, metavar="DIR",
                     help="cache directory (default: $REPRO_CACHE_DIR, "
                          "else ~/.cache/repro/runs)")
+    ca.add_argument("--backend", default=None, choices=["json", "sqlite"],
+                    help="store backend (default: $REPRO_CACHE_BACKEND, "
+                         "else auto-detected from the directory)")
     casub = ca.add_subparsers(dest="cache_cmd", required=True)
     cast = casub.add_parser("stats", help="entry count and disk footprint")
     cast.set_defaults(fn=cmd_cache)
+    cami = casub.add_parser(
+        "migrate",
+        help="copy every entry to another backend (in place by default)",
+    )
+    cami.add_argument("--to", required=True, choices=["json", "sqlite"],
+                      help="target backend")
+    cami.add_argument("--dest", default=None, metavar="DIR",
+                      help="write into DIR instead of converting the cache "
+                           "directory in place")
+    cami.set_defaults(fn=cmd_cache)
     cagc = casub.add_parser(
         "gc", help="drop stale-format (and optionally old) entries"
     )

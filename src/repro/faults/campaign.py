@@ -47,6 +47,24 @@ class CampaignRun:
         return not self.hung and not self.violations
 
 
+def _format_campaign(s: dict[str, int], failures: Sequence[CampaignRun]) -> str:
+    """One report body shared by :class:`CampaignReport` and
+    :class:`CampaignSummary`, so streamed and materialized campaigns
+    render byte-identical reports."""
+    lines = [
+        f"campaign: {s['runs']} runs, {s['ok']} ok, {s['hangs']} hangs, "
+        f"{s['violations']} violating, {s['aborts']} aborts"
+    ]
+    for r in failures:
+        tag = "HANG" if r.hung else "VIOLATION"
+        kills = ", ".join(f"r{k}@{t:.3g}" for k, t in r.kills)
+        lines.append(
+            f"  [{tag}] seed={r.seed} kills=[{kills}]: "
+            f"{'; '.join(r.violations) or 'deadlock'}"
+        )
+    return "\n".join(lines)
+
+
 @dataclass
 class CampaignReport:
     """Aggregate over all sampled runs."""
@@ -67,19 +85,47 @@ class CampaignReport:
         }
 
     def format(self) -> str:
-        s = self.summary()
-        lines = [
-            f"campaign: {s['runs']} runs, {s['ok']} ok, {s['hangs']} hangs, "
-            f"{s['violations']} violating, {s['aborts']} aborts"
-        ]
-        for r in self.failures:
-            tag = "HANG" if r.hung else "VIOLATION"
-            kills = ", ".join(f"r{k}@{t:.3g}" for k, t in r.kills)
-            lines.append(
-                f"  [{tag}] seed={r.seed} kills=[{kills}]: "
-                f"{'; '.join(r.violations) or 'deadlock'}"
-            )
-        return "\n".join(lines)
+        return _format_campaign(self.summary(), self.failures)
+
+
+@dataclass
+class CampaignSummary:
+    """Streaming counterpart of :class:`CampaignReport`: running counts
+    plus the (rare) failing runs, never the full run list.
+
+    Produced by ``run_campaign(..., stream=True)`` — a 10^6-seed
+    campaign holds O(failures) memory instead of O(runs).
+    ``summary()`` and ``format()`` are byte-identical to the
+    materialized report's.
+    """
+
+    runs: int = 0
+    ok: int = 0
+    hangs: int = 0
+    violations: int = 0
+    aborts: int = 0
+    failures: list[CampaignRun] = field(default_factory=list)
+
+    def add(self, run: CampaignRun) -> None:
+        self.runs += 1
+        self.ok += run.ok
+        self.hangs += run.hung
+        self.violations += bool(run.violations)
+        self.aborts += run.aborted
+        if not run.ok:
+            self.failures.append(run)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "runs": self.runs,
+            "ok": self.ok,
+            "hangs": self.hangs,
+            "violations": self.violations,
+            "aborts": self.aborts,
+        }
+
+    def format(self) -> str:
+        return _format_campaign(self.summary(), self.failures)
 
 
 @dataclass
@@ -180,7 +226,8 @@ def run_campaign(
     runner: SweepRunner | None = None,
     cache: Any = None,
     telemetry: str | None = None,
-) -> CampaignReport:
+    stream: bool = False,
+) -> "CampaignReport | CampaignSummary":
     """Sample ``len(seeds)`` runs, each killing ``kills_per_run`` distinct
     ranks at uniform-random virtual times in ``[0, horizon)``.
 
@@ -203,27 +250,51 @@ def run_campaign(
     wall time, outcome class, worker id, retries, cache disposition
     (see :mod:`repro.obs.telemetry`); its canonical form is identical
     between serial and pooled campaigns.
+
+    ``stream=True`` pipes the jobs through the runner's ``run_stream``
+    (bounded in-flight windows, lazily built jobs) and folds runs into
+    a :class:`CampaignSummary` as they complete — memory stays
+    O(failures) regardless of ``len(seeds)``, and ``summary()`` /
+    ``format()`` are byte-identical to the materialized report's.
     """
-    jobs = [
-        CampaignJob(
+    eligible = tuple(eligible_ranks) if eligible_ranks is not None else None
+
+    def make_job(seed: int) -> CampaignJob:
+        return CampaignJob(
             factory=factory,
             seed=seed,
             horizon=horizon,
             kills_per_run=kills_per_run,
-            eligible_ranks=(
-                tuple(eligible_ranks) if eligible_ranks is not None else None
-            ),
+            eligible_ranks=eligible,
             invariants=invariants,
             keep_results=keep_results,
         )
-        for seed in seeds
-    ]
+
     if runner is None:
         runner = make_runner(workers)
     if cache is not None and cache is not False:
         from ..cache import CachedRunner, RunCache
 
         runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
+    if stream:
+        jobs_iter = (make_job(seed) for seed in seeds)
+        summary = CampaignSummary()
+        if telemetry:
+            from ..obs.telemetry import TelemetryWriter, run_recorded_stream
+
+            writer = TelemetryWriter(
+                telemetry, kind="campaign", total=len(seeds), workers=workers
+            )
+            try:
+                for run in run_recorded_stream(runner, jobs_iter, writer):
+                    summary.add(run)
+            finally:
+                writer.close()
+        else:
+            for run in runner.run_stream(jobs_iter):
+                summary.add(run)
+        return summary
+    jobs = [make_job(seed) for seed in seeds]
     if telemetry:
         from ..obs.telemetry import TelemetryWriter, run_recorded
 

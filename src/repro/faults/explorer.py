@@ -43,6 +43,7 @@ from .injector import CompositeInjector, FaultInjector, KillAtProbe
 
 __all__ = [
     "ExplorationReport",
+    "ExplorationSummary",
     "Invariant",
     "ScenarioFactory",
     "ScenarioOutcome",
@@ -86,6 +87,23 @@ class ScenarioOutcome:
         return not self.hung and not self.violations
 
 
+def _format_exploration(
+    s: dict[str, int], failures: Sequence[ScenarioOutcome]
+) -> str:
+    """One report body shared by :class:`ExplorationReport` and
+    :class:`ExplorationSummary`, so streamed and materialized sweeps
+    render byte-identical reports."""
+    lines = [
+        f"explored {s['runs']} scenario(s) over {s['windows']} window(s): "
+        f"{s['ok']} ok, {s['hangs']} hang(s), {s['violations']} violating"
+    ]
+    for o in failures:
+        tag = "HANG" if o.hung else "VIOLATION"
+        wins = "+".join(str(w) for w in o.windows)
+        lines.append(f"  [{tag}] {wins}: {'; '.join(o.violations) or 'deadlock'}")
+    return "\n".join(lines)
+
+
 @dataclass
 class ExplorationReport:
     """Aggregate of a full exploration sweep."""
@@ -111,16 +129,47 @@ class ExplorationReport:
         }
 
     def format(self) -> str:
-        s = self.summary()
-        lines = [
-            f"explored {s['runs']} scenario(s) over {s['windows']} window(s): "
-            f"{s['ok']} ok, {s['hangs']} hang(s), {s['violations']} violating"
-        ]
-        for o in self.failures:
-            tag = "HANG" if o.hung else "VIOLATION"
-            wins = "+".join(str(w) for w in o.windows)
-            lines.append(f"  [{tag}] {wins}: {'; '.join(o.violations) or 'deadlock'}")
-        return "\n".join(lines)
+        return _format_exploration(self.summary(), self.failures)
+
+
+@dataclass
+class ExplorationSummary:
+    """Streaming counterpart of :class:`ExplorationReport`: running
+    counts plus the (rare) failing outcomes, never the full outcome
+    list.
+
+    Produced by ``explore(..., stream=True)`` — a ``pairs=True`` sweep
+    whose job count grows quadratically in the window count holds
+    O(failures) memory instead of O(runs).  ``summary()`` and
+    ``format()`` are byte-identical to the materialized report's.
+    """
+
+    reference_windows: list[Window] = field(default_factory=list)
+    runs: int = 0
+    ok: int = 0
+    hangs: int = 0
+    violations: int = 0
+    failures: list[ScenarioOutcome] = field(default_factory=list)
+
+    def add(self, outcome: ScenarioOutcome) -> None:
+        self.runs += 1
+        self.ok += outcome.ok
+        self.hangs += outcome.hung
+        self.violations += bool(outcome.violations)
+        if not outcome.ok:
+            self.failures.append(outcome)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "windows": len(self.reference_windows),
+            "runs": self.runs,
+            "ok": self.ok,
+            "hangs": self.hangs,
+            "violations": self.violations,
+        }
+
+    def format(self) -> str:
+        return _format_exploration(self.summary(), self.failures)
 
 
 def enumerate_windows(
@@ -248,7 +297,8 @@ def explore(
     cache: Any = None,
     progress: Callable[[int, int], None] | None = None,
     telemetry: str | None = None,
-) -> ExplorationReport:
+    stream: bool = False,
+) -> "ExplorationReport | ExplorationSummary":
     """Exhaustively inject a failure at every reachable window.
 
     With ``pairs=True`` additionally injects every ordered pair of windows
@@ -282,33 +332,51 @@ def explore(
     a process pool with ``workers`` > 1 (``factory``/``invariants`` must
     then be picklable).  Outcomes keep enumeration order either way, so
     the report does not depend on the worker count.
+
+    ``stream=True`` builds the jobs lazily (the quadratic ``pairs``
+    enumeration included), pipes them through the runner's
+    ``run_stream``, and folds outcomes into an
+    :class:`ExplorationSummary` as they complete — memory stays
+    O(windows + failures) regardless of the job count, and
+    ``summary()``/``format()`` are byte-identical to the materialized
+    report's.
     """
     windows = enumerate_windows(factory, probes=probes, ranks=ranks)
     if max_windows is not None:
         windows = windows[:max_windows]
-    jobs = [
-        WindowJob(
-            factory=factory,
-            windows=(w,),
-            invariants=invariants,
-            keep_results=keep_results,
-            trace=trace,
-        )
-        for w in windows
-    ]
-    if pairs:
-        for a, b in itertools.combinations(windows, 2):
-            if a.rank == b.rank:
-                continue
-            jobs.append(
-                WindowJob(
+
+    def iter_jobs():
+        for w in windows:
+            yield WindowJob(
+                factory=factory,
+                windows=(w,),
+                invariants=invariants,
+                keep_results=keep_results,
+                trace=trace,
+            )
+        if pairs:
+            for a, b in itertools.combinations(windows, 2):
+                if a.rank == b.rank:
+                    continue
+                yield WindowJob(
                     factory=factory,
                     windows=(a, b),
                     invariants=invariants,
                     keep_results=keep_results,
                     trace=trace,
                 )
-            )
+
+    total = len(windows)
+    if pairs:
+        # Count cross-rank pairs without enumerating them: all pairs
+        # minus the same-rank ones.
+        per_rank: dict[int, int] = {}
+        for w in windows:
+            per_rank[w.rank] = per_rank.get(w.rank, 0) + 1
+        n = len(windows)
+        total += n * (n - 1) // 2 - sum(
+            c * (c - 1) // 2 for c in per_rank.values()
+        )
     if runner is None:
         runner = make_runner(workers)
     if cache is not None and cache is not False:
@@ -320,8 +388,31 @@ def explore(
         from ..obs.telemetry import TelemetryWriter
 
         writer = TelemetryWriter(
-            telemetry, kind="explore", total=len(jobs), workers=workers
+            telemetry, kind="explore", total=total, workers=workers
         )
+    if stream:
+        summary = ExplorationSummary(reference_windows=windows)
+        try:
+            if writer is not None:
+                from ..obs.telemetry import run_recorded_stream
+
+                values = run_recorded_stream(runner, iter_jobs(), writer)
+            else:
+                values = runner.run_stream(iter_jobs())
+            if progress is not None:
+                progress(0, total)
+            step = max(1, math.ceil(total / 16))
+            for done, outcome in enumerate(values, start=1):
+                summary.add(outcome)
+                if progress is not None and (
+                    done % step == 0 or done == total
+                ):
+                    progress(done, total)
+        finally:
+            if writer is not None:
+                writer.close()
+        return summary
+    jobs = list(iter_jobs())
     try:
         outcomes = _run_with_progress(runner, jobs, progress, writer)
     finally:

@@ -32,13 +32,25 @@ from .config import (
     scenario_to_dict,
     violations_of,
 )
+from .coverage import (
+    CoverageJob,
+    CoverageMap,
+    CoverageOutcome,
+    CoverageReport,
+    coverage_cell,
+    coverage_fuzz,
+    mutate_config,
+    shape_digest,
+)
 from .driver import (
     FuzzJob,
     FuzzOutcome,
     FuzzReport,
+    FuzzSummary,
     ReplayResult,
     classify,
     fuzz,
+    iter_sample_configs,
     load_repro,
     perf_dict,
     replay,
@@ -49,19 +61,29 @@ from .driver import (
 from .shrink import ShrinkResult, shrink
 
 __all__ = [
+    "CoverageJob",
+    "CoverageMap",
+    "CoverageOutcome",
+    "CoverageReport",
     "FuzzConfig",
     "FuzzJob",
     "FuzzOutcome",
     "FuzzReport",
+    "FuzzSummary",
     "JitterSpec",
     "ReplayResult",
     "ShrinkResult",
     "classify",
+    "coverage_cell",
+    "coverage_fuzz",
     "perf_dict",
     "default_eligible_ranks",
     "default_invariants",
     "fuzz",
+    "iter_sample_configs",
     "load_repro",
+    "mutate_config",
+    "shape_digest",
     "replay",
     "result_digest",
     "sample_configs",

@@ -22,7 +22,7 @@ import json
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from ..analysis.digest import perf_dict, result_digest
 from ..faults.schedule import KillSpec
@@ -45,9 +45,11 @@ __all__ = [
     "FuzzJob",
     "FuzzOutcome",
     "FuzzReport",
+    "FuzzSummary",
     "ReplayResult",
     "classify",
     "fuzz",
+    "iter_sample_configs",
     "load_repro",
     "perf_dict",
     "replay",
@@ -186,6 +188,97 @@ _POLICY_CHOICES = ("random", "random", "random", "rr", "lowest")
 _JITTER_LEVELS = (0.0, 1.0 / 3.0, 1.0)
 
 
+def _draw_kill(
+    rng: random.Random, rank: int, *, horizon: float, max_call: int
+) -> KillSpec:
+    """One fault draw: a time-triggered or call-count-triggered kill."""
+    if rng.random() < 0.5:
+        return KillSpec(
+            trigger="time", rank=rank, time=rng.uniform(0.0, horizon)
+        )
+    return KillSpec(
+        trigger="call", rank=rank, call_no=rng.randint(1, max_call)
+    )
+
+
+def _draw_config(
+    rng: random.Random,
+    scenario: Any,
+    *,
+    max_jitter: float,
+    min_kills: int,
+    max_kills: int,
+    horizon: float,
+    max_call: int,
+    eligible: tuple[int, ...],
+) -> FuzzConfig:
+    """Draw one config from *rng* (the sampling unit shared by
+    :func:`iter_sample_configs` and the coverage-guided corpus)."""
+    policy = rng.choice(_POLICY_CHOICES)
+    policy_seed = rng.randrange(2**32) if policy == "random" else 0
+    jitter = JitterSpec(
+        seed=rng.randrange(2**32),
+        overhead=max_jitter * rng.choice(_JITTER_LEVELS),
+        latency=max_jitter * rng.choice(_JITTER_LEVELS),
+        byte_cost=max_jitter * rng.choice(_JITTER_LEVELS),
+    )
+    if jitter.is_zero:
+        jitter = jitter.zeroed()  # drop the now-meaningless seed
+    nkills = min(rng.randint(min_kills, max_kills), len(eligible))
+    kills = [
+        _draw_kill(rng, rank, horizon=horizon, max_call=max_call)
+        for rank in rng.sample(eligible, nkills)
+    ]
+    return FuzzConfig(
+        scenario=scenario,
+        policy=policy,
+        policy_seed=policy_seed,
+        jitter=jitter,
+        faults=tuple(kills),
+    )
+
+
+def iter_sample_configs(
+    scenario: Any,
+    runs: int,
+    seed: int,
+    *,
+    max_jitter: float = 0.3,
+    min_kills: int = 0,
+    max_kills: int = 2,
+    horizon: float | None = None,
+    max_call: int = 40,
+    eligible: Sequence[int] | None = None,
+) -> Iterator[FuzzConfig]:
+    """Lazy :func:`sample_configs`: yield configs one at a time.
+
+    Identical draw order and results — the list form is just
+    ``list(iter_sample_configs(...))`` — but a 10^6-run streamed
+    campaign never materializes the corpus.
+    """
+    if runs < 0:
+        raise ValueError("runs must be >= 0")
+    if not 0 <= min_kills <= max_kills:
+        raise ValueError("need 0 <= min_kills <= max_kills")
+    if horizon is None:
+        horizon = FuzzConfig(scenario).run().final_time
+    if eligible is None:
+        eligible = default_eligible_ranks(scenario)
+    eligible = tuple(eligible)
+    rng = random.Random(seed)
+    for _ in range(runs):
+        yield _draw_config(
+            rng,
+            scenario,
+            max_jitter=max_jitter,
+            min_kills=min_kills,
+            max_kills=max_kills,
+            horizon=horizon,
+            max_call=max_call,
+            eligible=eligible,
+        )
+
+
 def sample_configs(
     scenario: Any,
     runs: int,
@@ -208,62 +301,46 @@ def sample_configs(
     ``None`` applies the paper's root-survives default
     (:func:`~repro.fuzz.config.default_eligible_ranks`).
     """
-    if runs < 0:
-        raise ValueError("runs must be >= 0")
-    if not 0 <= min_kills <= max_kills:
-        raise ValueError("need 0 <= min_kills <= max_kills")
-    if horizon is None:
-        horizon = FuzzConfig(scenario).run().final_time
-    if eligible is None:
-        eligible = default_eligible_ranks(scenario)
-    eligible = tuple(eligible)
-    rng = random.Random(seed)
-    configs: list[FuzzConfig] = []
-    for _ in range(runs):
-        policy = rng.choice(_POLICY_CHOICES)
-        policy_seed = rng.randrange(2**32) if policy == "random" else 0
-        jitter = JitterSpec(
-            seed=rng.randrange(2**32),
-            overhead=max_jitter * rng.choice(_JITTER_LEVELS),
-            latency=max_jitter * rng.choice(_JITTER_LEVELS),
-            byte_cost=max_jitter * rng.choice(_JITTER_LEVELS),
+    return list(
+        iter_sample_configs(
+            scenario,
+            runs,
+            seed,
+            max_jitter=max_jitter,
+            min_kills=min_kills,
+            max_kills=max_kills,
+            horizon=horizon,
+            max_call=max_call,
+            eligible=eligible,
         )
-        if jitter.is_zero:
-            jitter = jitter.zeroed()  # drop the now-meaningless seed
-        nkills = min(rng.randint(min_kills, max_kills), len(eligible))
-        kills = []
-        for rank in rng.sample(eligible, nkills):
-            if rng.random() < 0.5:
-                kills.append(
-                    KillSpec(
-                        trigger="time",
-                        rank=rank,
-                        time=rng.uniform(0.0, horizon),
-                    )
-                )
-            else:
-                kills.append(
-                    KillSpec(
-                        trigger="call",
-                        rank=rank,
-                        call_no=rng.randint(1, max_call),
-                    )
-                )
-        configs.append(
-            FuzzConfig(
-                scenario=scenario,
-                policy=policy,
-                policy_seed=policy_seed,
-                jitter=jitter,
-                faults=tuple(kills),
-            )
-        )
-    return configs
+    )
 
 
 # ----------------------------------------------------------------------
 # The campaign driver
 # ----------------------------------------------------------------------
+
+
+def _format_fuzz(
+    s: dict[str, Any],
+    shown: Sequence[FuzzOutcome],
+    failures: Sequence[FuzzOutcome],
+    shrunk: Sequence[ShrinkResult],
+) -> str:
+    """One report body shared by :class:`FuzzReport` and
+    :class:`FuzzSummary`, so streamed and materialized campaigns render
+    byte-identical reports."""
+    lines = [
+        f"fuzz seed={s['seed']}: {s['runs']} run(s), "
+        f"{s['failures']} failure(s), {s['hangs']} hang(s), "
+        f"{s['aborts']} abort(s)"
+    ]
+    lines.extend(o.describe() for o in shown)
+    for outcome, sr in zip(failures, shrunk):
+        lines.append(
+            f"  shrunk [{outcome.index:4d}] -> {sr.describe()}"
+        )
+    return "\n".join(lines)
 
 
 @dataclass
@@ -295,19 +372,50 @@ class FuzzReport:
         }
 
     def format(self, *, verbose: bool = False) -> str:
-        s = self.summary()
-        lines = [
-            f"fuzz seed={s['seed']}: {s['runs']} run(s), "
-            f"{s['failures']} failure(s), {s['hangs']} hang(s), "
-            f"{s['aborts']} abort(s)"
-        ]
         shown = self.outcomes if verbose else self.failures
-        lines.extend(o.describe() for o in shown)
-        for outcome, sr in zip(self.failures, self.shrunk):
-            lines.append(
-                f"  shrunk [{outcome.index:4d}] -> {sr.describe()}"
-            )
-        return "\n".join(lines)
+        return _format_fuzz(self.summary(), shown, self.failures, self.shrunk)
+
+
+@dataclass
+class FuzzSummary:
+    """Streaming counterpart of :class:`FuzzReport`: counts plus the
+    (rare) failing outcomes, never the full outcome list.
+
+    Produced by ``fuzz(..., stream=True)`` — a 10^6-run campaign holds
+    O(failures) memory instead of O(runs).  ``summary()`` and
+    ``format()`` are byte-identical to the materialized report's
+    (``format(verbose=True)`` is unavailable: the ok outcomes are gone
+    by design).
+    """
+
+    scenario: Any
+    seed: int
+    runs: int = 0
+    hangs: int = 0
+    aborts: int = 0
+    failures: list[FuzzOutcome] = field(default_factory=list)
+    shrunk: list[ShrinkResult] = field(default_factory=list)
+
+    def add(self, outcome: FuzzOutcome) -> None:
+        self.runs += 1
+        self.hangs += outcome.hung
+        self.aborts += outcome.aborted
+        if outcome.failed:
+            self.failures.append(outcome)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "runs": self.runs,
+            "failures": len(self.failures),
+            "hangs": self.hangs,
+            "aborts": self.aborts,
+        }
+
+    def format(self) -> str:
+        return _format_fuzz(
+            self.summary(), self.failures, self.failures, self.shrunk
+        )
 
 
 def fuzz(
@@ -321,8 +429,9 @@ def fuzz(
     shrink_failures: bool = True,
     max_shrink_attempts: int = 300,
     telemetry: str | None = None,
+    stream: bool = False,
     **sample_options: Any,
-) -> FuzzReport:
+) -> "FuzzReport | FuzzSummary":
     """Run one seeded fuzz campaign end to end.
 
     Samples the corpus, fans it out through *runner* (default: in-process
@@ -342,17 +451,51 @@ def fuzz(
     run (wall time, outcome class, worker id, retries, cache
     disposition — see :mod:`repro.obs.telemetry`).  Shrink re-runs are
     not part of the stream: they explore configs outside the corpus.
+
+    ``stream=True`` pipes a *lazily sampled* corpus through the
+    runner's ``run_stream`` and folds outcomes into a
+    :class:`FuzzSummary` as they arrive — memory stays O(failures)
+    regardless of ``runs``, and ``summary()``/``format()`` are
+    byte-identical to the materialized report's.
     """
-    configs = sample_configs(scenario, runs, seed, **sample_options)
-    jobs = [
-        FuzzJob(config=c, index=i, invariants=invariants)
-        for i, c in enumerate(configs)
-    ]
     runner = runner or SerialRunner()
     if cache is not None and cache is not False:
         from ..cache import CachedRunner, RunCache
 
         runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
+    if stream:
+        jobs_iter = (
+            FuzzJob(config=c, index=i, invariants=invariants)
+            for i, c in enumerate(
+                iter_sample_configs(scenario, runs, seed, **sample_options)
+            )
+        )
+        summary = FuzzSummary(scenario=scenario, seed=seed)
+        if telemetry:
+            from ..obs.telemetry import TelemetryWriter, run_recorded_stream
+
+            writer = TelemetryWriter(
+                telemetry, kind="fuzz", total=runs, workers=None
+            )
+            try:
+                for outcome in run_recorded_stream(runner, jobs_iter, writer):
+                    summary.add(outcome)
+            finally:
+                writer.close()
+        else:
+            for outcome in runner.run_stream(jobs_iter):
+                summary.add(outcome)
+        if shrink_failures:
+            summary.shrunk = [
+                shrink(o.config, invariants, max_attempts=max_shrink_attempts)
+                for o in summary.failures
+            ]
+        return summary
+    configs = sample_configs(scenario, runs, seed, **sample_options)
+    jobs = [
+        FuzzJob(config=c, index=i, invariants=invariants)
+        for i, c in enumerate(configs)
+    ]
     if telemetry:
         from ..obs.telemetry import TelemetryWriter, run_recorded
 

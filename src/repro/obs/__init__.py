@@ -40,6 +40,7 @@ from .telemetry import (
     outcome_class,
     read_telemetry,
     run_recorded,
+    run_recorded_stream,
     summarize,
     telemetry_errors,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "perfetto_errors",
     "read_telemetry",
     "run_recorded",
+    "run_recorded_stream",
     "run_report",
     "summarize",
     "telemetry_errors",

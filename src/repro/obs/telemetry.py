@@ -46,6 +46,7 @@ __all__ = [
     "outcome_class",
     "read_telemetry",
     "run_recorded",
+    "run_recorded_stream",
     "summarize",
     "telemetry_errors",
 ]
@@ -227,6 +228,35 @@ def run_recorded(
     return writer.record(
         results, retries=getattr(runner, "job_retries", None)
     )
+
+
+def run_recorded_stream(
+    runner: Any, jobs: Any, writer: TelemetryWriter
+) -> Any:
+    """Streaming :func:`run_recorded`: yield unwrapped values one at a
+    time, writing each job's telemetry line as its result arrives.
+
+    *jobs* may be any iterable (a lazy generator included) — it is
+    wrapped and consumed incrementally through ``runner.run_stream``,
+    so neither the job list nor the result list is ever materialized.
+    The runner's cumulative ``job_retries`` (indexed by global
+    submission order, exactly like each result's ``index``) supplies
+    the per-line retry counts, so the canonical stream matches a
+    materialized :func:`run_recorded` byte for byte.
+    """
+    def _wrapped():
+        for i, job in enumerate(jobs):
+            yield TelemetryJob(job=job, index=i)
+
+    for res in runner.run_stream(_wrapped()):
+        retries = getattr(runner, "job_retries", None)
+        count = (
+            retries[res.index]
+            if retries is not None and res.index < len(retries)
+            else 0
+        )
+        writer.record([res], retries=[count])
+        yield res.value
 
 
 # ----------------------------------------------------------------------

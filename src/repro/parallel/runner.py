@@ -42,7 +42,8 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from itertools import islice
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 #: A sweep job: picklable, zero-argument, returns a picklable result.
 SweepJob = Callable[[], Any]
@@ -64,6 +65,13 @@ class SweepError(RuntimeError):
         self.indices = list(indices)
 
 
+#: Default jobs-per-window for :meth:`SweepRunner.run_stream` — big
+#: enough to amortize pool IPC and batched cache lookups, small enough
+#: that a 10^6-job campaign never holds more than one window of jobs
+#: and results in memory.
+DEFAULT_STREAM_WINDOW = 1024
+
+
 class SweepRunner:
     """Executes a batch of independent jobs, results in submission order.
 
@@ -71,14 +79,54 @@ class SweepRunner:
     (submission order): how many times the chunk carrying that job was
     re-submitted.  Always zero for serial runs; the telemetry layer
     (:mod:`repro.obs.telemetry`) reads it to attribute infrastructure
-    retries to jobs.
+    retries to jobs.  It is a per-*instance* list — two runners never
+    alias each other's retry accounting (regression-tested).
     """
 
-    #: Per-job retry counts of the most recent :meth:`run` (see above).
-    job_retries: list[int] = []
+    def __init__(self) -> None:
+        #: Per-job retry counts of the most recent :meth:`run` (see above).
+        self.job_retries: list[int] = []
 
     def run(self, jobs: Sequence[SweepJob]) -> list[Any]:  # pragma: no cover
         raise NotImplementedError
+
+    def run_stream(
+        self, jobs: Iterable[SweepJob], *, window: int | None = None
+    ) -> Iterator[Any]:
+        """Incremental :meth:`run`: yield results in submission order
+        while consuming *jobs* lazily, at most *window* jobs in flight.
+
+        Same semantics as :meth:`run` — submission-order results,
+        chunking/timeout/retries per window, application errors raised
+        at the offending result's position — but neither the job list
+        nor the result list is ever materialized beyond one window, so
+        a 10^6-config campaign runs in O(window) memory.
+
+        :attr:`job_retries` grows as results are yielded (one entry per
+        job yielded so far) and is complete when the iterator is
+        exhausted, so streamed telemetry sees the same counts as a
+        materialized run.
+        """
+        window = int(window) if window is not None else self._stream_window()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        it = iter(jobs)
+        retries: list[int] = []
+        self.job_retries = retries
+        while True:
+            batch = list(islice(it, window))
+            if not batch:
+                return
+            results = self.run(batch)
+            # run() replaced job_retries with this batch's counts; fold
+            # them into the cumulative stream-wide list.
+            retries.extend(self.job_retries)
+            self.job_retries = retries
+            yield from results
+
+    def _stream_window(self) -> int:
+        """Default in-flight window for :meth:`run_stream`."""
+        return DEFAULT_STREAM_WINDOW
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
         """Convenience: run ``fn`` once per item (``fn`` must be picklable
@@ -103,6 +151,17 @@ class SerialRunner(SweepRunner):
     def run(self, jobs: Sequence[SweepJob]) -> list[Any]:
         self.job_retries = [0] * len(jobs)
         return [job() for job in jobs]
+
+    def run_stream(
+        self, jobs: Iterable[SweepJob], *, window: int | None = None
+    ) -> Iterator[Any]:
+        # Fully lazy: one job in memory at a time, no window needed.
+        retries: list[int] = []
+        self.job_retries = retries
+        for job in jobs:
+            result = job()
+            retries.append(0)
+            yield result
 
 
 def _run_chunk(jobs: Sequence[SweepJob]) -> list[Any]:
@@ -148,6 +207,15 @@ class ProcessPoolRunner(SweepRunner):
             raise ValueError("chunk_size must be >= 1")
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        # The dataclass-generated __init__ bypasses SweepRunner.__init__.
+        self.job_retries = []
+
+    def _stream_window(self) -> int:
+        # Keep every worker busy across a window: explicit chunk sizes
+        # scale the window, auto-chunking gets the shared default.
+        if self.chunk_size is not None:
+            return max(DEFAULT_STREAM_WINDOW, self.chunk_size * self.workers * 4)
+        return max(DEFAULT_STREAM_WINDOW, self.workers * 128)
 
     # -- pool plumbing -----------------------------------------------------
 

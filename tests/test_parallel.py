@@ -166,6 +166,20 @@ class TestRunners:
             runner.run([SquareJob(5), DieJob(), SquareJob(7)])
         assert exc_info.value.indices == [1]
 
+    def test_job_retries_not_shared_between_instances(self):
+        # Regression: job_retries used to be a mutable *class* attribute,
+        # so every runner aliased one list and a run on one instance
+        # clobbered another's telemetry counts.
+        for make in (SerialRunner, lambda: ProcessPoolRunner(workers=1)):
+            a, b = make(), make()
+            assert a.job_retries is not b.job_retries
+            a.run([SquareJob(2)])
+            assert a.job_retries == [0]
+            assert b.job_retries == []
+        assert SerialRunner().job_retries is not ProcessPoolRunner(
+            workers=1
+        ).job_retries
+
 
 def _double(x: int) -> int:
     return 2 * x
