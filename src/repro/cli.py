@@ -19,6 +19,12 @@ Subcommands
     ``--workers`` fans the runs across a process pool; the report is
     identical to a serial run.
 
+``compare-protocols``
+    Differential study of the recovery protocol families
+    (``rts`` / ``shrink_repair`` / ``replication`` / ``partial_restart``)
+    on identical fault schedules: per-protocol outcome classes, recovery
+    latency percentiles, message overhead, and hang windows.
+
 ``heat`` / ``farm`` / ``abft``
     Run the bundled domain applications under optional failures.
 
@@ -68,6 +74,7 @@ Examples::
     python -m repro ring --variant naive --kill-probe 2:post_recv:2
     python -m repro explore --variant ft_marker --pairs --workers 4
     python -m repro campaign --nprocs 16 --runs 200 --workers 4
+    python -m repro compare-protocols --runs 25 --workers 4
     python -m repro abft --kill-probe 2:computed:3
     python -m repro fuzz --runs 200 --seed 1 --max-kills 2 --out-dir repros
     python -m repro replay repros/fuzz-1-0007.repro.json
@@ -360,6 +367,32 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     print(rep.format())
     _report_cache(args, before)
     return 1 if rep.failures else 0
+
+
+def cmd_compare_protocols(args: argparse.Namespace) -> int:
+    from .protocols import PROTOCOLS, run_compare_protocols
+
+    _apply_fibers(args)
+    protocols = tuple(args.protocols) if args.protocols else PROTOCOLS
+    before = _cache_counters_snapshot(args)
+    rep = run_compare_protocols(
+        nprocs=args.nprocs,
+        iters=args.iters,
+        seeds=range(args.first_seed, args.first_seed + args.runs),
+        horizon=args.horizon,
+        kills_per_run=args.kills,
+        protocols=protocols,
+        spares=args.spares,
+        sim_seed=args.seed,
+        detection_latency=args.detection_latency,
+        workers=args.workers,
+        cache=_cache_arg(args),
+    )
+    print(rep.format())
+    _report_cache(args, before)
+    s = rep.summary()
+    bad = sum(s[p]["hangs"] + s[p]["violations"] for p in protocols)
+    return 1 if bad else 0
 
 
 def cmd_heat(args: argparse.Namespace) -> int:
@@ -776,6 +809,41 @@ def build_parser() -> argparse.ArgumentParser:
                            "gets; the report text is identical")
     _add_cache_args(camp)
     camp.set_defaults(fn=cmd_campaign)
+
+    cp = sub.add_parser(
+        "compare-protocols",
+        help="differential study of the recovery protocol families "
+             "(rts / shrink_repair / replication / partial_restart) on "
+             "identical fault schedules",
+    )
+    cp.add_argument("--nprocs", type=int, default=6,
+                    help="logical ring size (replication runs 2x physical "
+                         "ranks, partial restart nprocs+spares)")
+    cp.add_argument("--iters", type=int, default=6)
+    cp.add_argument("--seed", type=int, default=0,
+                    help="simulation seed shared by every run")
+    cp.add_argument("--detection-latency", type=float, default=0.0)
+    cp.add_argument("--protocols", nargs="+", default=None,
+                    metavar="PROTO",
+                    choices=["rts", "shrink_repair", "replication",
+                             "partial_restart"],
+                    help="subset of protocol families (default: all four)")
+    cp.add_argument("--runs", type=int, default=25,
+                    help="fault schedules per protocol (one seed each)")
+    cp.add_argument("--first-seed", type=int, default=0,
+                    help="first schedule seed (seeds are consecutive)")
+    cp.add_argument("--horizon", type=float, default=4e-5,
+                    help="kill times are sampled uniformly in [0, horizon)")
+    cp.add_argument("--kills", type=int, default=1,
+                    help="fail-stops injected per run")
+    cp.add_argument("--spares", type=int, default=2,
+                    help="spare ranks for partial_restart")
+    cp.add_argument("--workers", type=int, default=None,
+                    help="fan the runs over N worker processes "
+                         "(default: serial; the report is identical)")
+    _add_fibers_arg(cp)
+    _add_cache_args(cp)
+    cp.set_defaults(fn=cmd_compare_protocols)
 
     heat = sub.add_parser("heat", help="fault-tolerant heat diffusion")
     common(heat, 6)

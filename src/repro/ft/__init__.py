@@ -16,16 +16,35 @@ Paper interface                Here
 
 The collective validate runs a real fault-tolerant consensus
 (:mod:`repro.ft.consensus`) over the simulated network.
+
+Beyond RTS, :mod:`repro.ft.ulfm` adds the ULFM-style primitives
+(``comm_agree`` / ``comm_shrink``, paired with the kernel's
+``Comm.revoke``) that the shrink/repair and partial-restart protocol
+families in :mod:`repro.protocols` are built on.
 """
 
 from .consensus import ConsensusEngine, engine_for
 from .rank_info import RankInfo, RankState
 from .recovery import RecoveryBlockError, run_recovery_block
+from .ulfm import (
+    AgreementEngine,
+    comm_agree,
+    comm_shrink,
+    icomm_agree,
+    next_agree_instance,
+    set_agree_instance,
+)
 from .validate import comm_validate, comm_validate_clear, comm_validate_rank, rank_state
 from .validate_all import comm_validate_all, icomm_validate_all
 
 __all__ = [
+    "AgreementEngine",
     "ConsensusEngine",
+    "comm_agree",
+    "comm_shrink",
+    "icomm_agree",
+    "next_agree_instance",
+    "set_agree_instance",
     "RankInfo",
     "RankState",
     "comm_validate",

@@ -14,6 +14,10 @@ enabled so the exporters have both a trace and counter timelines:
            with nonzero detection latency — the duplicate pathology
 ``ring``/``heat``/``farm``/``abft``  the bundled workloads at their
            CLI default sizes, failure-free
+``shrink``/``replication``/``restart``  the fig7 shape (4 logical
+           ranks, 4 iterations, rank 2 fail-stopped mid-run) driven by
+           the alternative recovery families of :mod:`repro.protocols`
+           instead of run-through stabilization
 =========  ==========================================================
 
 Each preset returns ``(sim, main, nprocs)``; run with
@@ -29,7 +33,26 @@ from ..simmpi import Simulation
 __all__ = ["SCENARIOS", "make_scenario"]
 
 #: Preset names, in help-text order.
-SCENARIOS = ("fig2", "fig6", "fig7", "fig8", "ring", "heat", "farm", "abft")
+SCENARIOS = (
+    "fig2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ring",
+    "heat",
+    "farm",
+    "abft",
+    "shrink",
+    "replication",
+    "restart",
+)
+
+#: Preset name -> protocol family, for the recovery-protocol presets.
+_PROTOCOL_PRESETS = {
+    "shrink": "shrink_repair",
+    "replication": "replication",
+    "restart": "partial_restart",
+}
 
 
 def make_scenario(
@@ -91,5 +114,16 @@ def make_scenario(
         from ..apps import AbftConfig, make_abft_main
 
         return sim_for(5), make_abft_main(AbftConfig()), 5
+
+    if name in _PROTOCOL_PRESETS:
+        from ..faults.injector import KillAtTime
+        from ..protocols import ProtocolRingConfig, ring_mains
+
+        nproc, main = ring_mains(
+            _PROTOCOL_PRESETS[name], ProtocolRingConfig(max_iter=4), 4
+        )
+        sim = sim_for(nproc, detection_latency=2e-6)
+        sim.add_injector(KillAtTime(rank=2, time=1.5e-5))
+        return sim, main, nproc
 
     raise ValueError(f"unknown scenario {name!r} (known: {SCENARIOS})")

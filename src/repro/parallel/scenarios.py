@@ -43,8 +43,45 @@ class RingScenario:
     seed: int = 0
     detection_latency: float = 0.0
     work_per_iter: float = 0.0
+    #: Recovery protocol family (see :mod:`repro.protocols`): ``"rts"``
+    #: runs the paper's ring; the other families share the same logical
+    #: workload but recover differently.  ``nprocs`` stays the *logical*
+    #: ring size — replication runs ``2 * nprocs`` physical ranks and
+    #: partial restart ``nprocs + spares``.  The field participates in
+    #: the run-cache key (``repro.cache.keys`` hashes every spec field),
+    #: so an RTS outcome is never served for another protocol.
+    protocol: str = "rts"
+    #: Spare ranks for ``protocol="partial_restart"`` (ignored otherwise).
+    spares: int = 2
+
+    def __post_init__(self) -> None:
+        from ..protocols import PROTOCOLS
+
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r} (known: {PROTOCOLS})"
+            )
+        if self.rootft and self.protocol != "rts":
+            raise ValueError("rootft applies to the rts protocol only")
 
     def __call__(self) -> tuple[Simulation, Any]:
+        if self.protocol != "rts":
+            from ..protocols import ProtocolRingConfig, ring_mains
+
+            nproc, main = ring_mains(
+                self.protocol,
+                ProtocolRingConfig(
+                    max_iter=self.iters, work_per_iter=self.work_per_iter
+                ),
+                self.nprocs,
+                spares=self.spares,
+            )
+            sim = Simulation(
+                nprocs=nproc,
+                seed=self.seed,
+                detection_latency=self.detection_latency,
+            )
+            return sim, main
         cfg = RingConfig(
             max_iter=self.iters,
             variant=RingVariant(self.variant),
@@ -94,11 +131,24 @@ class AppScenario:
     steps: int = 5
     seed: int = 0
     detection_latency: float = 0.0
+    #: The bundled apps implement their fault tolerance natively in RTS
+    #: terms (validate / recognized-failure semantics); the alternative
+    #: protocol families of :mod:`repro.protocols` are ring-workload
+    #: strategies and do not retrofit onto them.  The field exists so app
+    #: and ring specs share one knob vocabulary (and one cache-key
+    #: surface), but only ``"rts"`` is accepted.
+    protocol: str = "rts"
 
     def __post_init__(self) -> None:
         if self.app not in _APP_BUILDERS:
             raise ValueError(
                 f"unknown app {self.app!r} (known: {sorted(_APP_BUILDERS)})"
+            )
+        if self.protocol != "rts":
+            raise ValueError(
+                f"app scenarios support protocol='rts' only, got "
+                f"{self.protocol!r}; the alternative families in "
+                "repro.protocols are ring strategies"
             )
 
     def __call__(self) -> tuple[Simulation, Any]:

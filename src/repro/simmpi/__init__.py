@@ -49,6 +49,7 @@ from .costmodel import (
     JitteredCostModel,
 )
 from .errors import (
+    CommRevokedError,
     ErrorClass,
     ErrorHandler,
     InvalidArgumentError,
@@ -101,6 +102,7 @@ __all__ = [
     "CTX_COLL",
     "CTX_P2P",
     "Comm",
+    "CommRevokedError",
     "CostModel",
     "DEFAULT_COST",
     "DEFAULT_ROOT",

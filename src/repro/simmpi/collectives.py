@@ -74,6 +74,7 @@ class _CollCtx:
         proc = comm.proc
         proc._mpi_call(name)
         comm._check_not_freed()
+        comm._check_revoked()
         self.comm = comm
         self.name = name
         self.tag = next(comm._coll_seq) * 8 if tag is None else tag

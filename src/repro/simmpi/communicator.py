@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 from .constants import ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED, is_valid_tag
 from .errors import (
+    CommRevokedError,
     ErrorClass,
     ErrorHandler,
     InvalidArgumentError,
@@ -142,6 +143,33 @@ class Comm:
         raise exc
 
     # ------------------------------------------------------------------
+    # Revocation (ULFM)
+    # ------------------------------------------------------------------
+
+    def revoke(self) -> None:
+        """``MPI_Comm_revoke``: invalidate the communicator at every member.
+
+        Local-immediate at the caller; other members learn via control
+        messages.  Once a member knows, its pending receives on the
+        communicator complete with ``MPI_ERR_REVOKED`` and every new
+        operation raises :class:`CommRevokedError` — only the AM layer
+        (consensus) keeps working, so the members can still agree on the
+        failed set and shrink (:func:`repro.ft.comm_shrink`).
+        """
+        self._proc._mpi_call("comm_revoke")
+        self._check_not_freed()
+        self._proc.runtime.revoke_comm(self._proc, self)
+
+    @property
+    def is_revoked(self) -> bool:
+        """Has *this process* learned that the communicator was revoked?"""
+        return self._proc.runtime.is_revoked(self._proc.rank, self.cid)
+
+    def _check_revoked(self) -> None:
+        if self._proc.runtime.is_revoked(self._proc.rank, self.cid):
+            self._raise(CommRevokedError(f"{self.name} has been revoked"))
+
+    # ------------------------------------------------------------------
     # Failure knowledge (per-observer view backed by the detector)
     # ------------------------------------------------------------------
 
@@ -211,6 +239,8 @@ class Comm:
         message is *matched* by a receive (or in error if the destination
         dies first)."""
         self._proc._mpi_call("issend")
+        self._check_not_freed()
+        self._check_revoked()
         self._check_send_args(dest, tag)
         req = Request(RequestKind.SEND, self._proc, self, peer=dest, tag=tag)
         if dest == PROC_NULL or dest in self.recognized:
@@ -252,6 +282,7 @@ class Comm:
         self, payload: Any, dest: int, tag: int, nbytes: int | None, op: str
     ) -> None:
         self._check_not_freed()
+        self._check_revoked()
         self._check_send_args(dest, tag)
         if dest == PROC_NULL:
             return
@@ -286,6 +317,7 @@ class Comm:
 
     def _irecv_common(self, source: int, tag: int) -> Request:
         self._check_not_freed()
+        self._check_revoked()
         if source != PROC_NULL and source != ANY_SOURCE:
             if not 0 <= source < self.size:
                 self._raise(
@@ -386,6 +418,7 @@ class Comm:
         return st
 
     def _iprobe_now(self, source: int, tag: int) -> Status | None:
+        self._check_revoked()
         if source != ANY_SOURCE and self._known_failed(source) and source not in self.recognized:
             self._raise(RankFailStopError(f"probe of failed rank {source}", peer=source))
         if source == ANY_SOURCE and self._has_unrecognized_failure():
@@ -455,6 +488,30 @@ class Comm:
                     error_class=ErrorClass.ERR_COMM,
                 )
             )
+
+    def replace_rank(self, comm_rank: int, world_rank: int) -> None:
+        """Patch *comm_rank*'s slot to a new world rank (in-place repair).
+
+        The non-collective reparation primitive (Rocco & Palermo,
+        arXiv:2209.01849) used by the partial-restart protocol: the
+        communicator keeps its cid — so messages already in flight between
+        surviving members still arrive — while a failed member's slot is
+        re-pointed at a freshly recruited spare.  Every survivor must
+        apply the same patch (driven by an agreed failed set); the spare
+        constructs its own handle with the patched group.  Recognition
+        state for the slot is cleared: the slot is alive again.
+        """
+        if not 0 <= comm_rank < len(self.group):
+            raise InvalidArgumentError(
+                f"rank {comm_rank} out of range for {self.name}",
+                rank=self._my_rank,
+            )
+        group = list(self.group)
+        group[comm_rank] = world_rank
+        self.group = tuple(group)
+        self.recognized.discard(comm_rank)
+        self.validated.discard(comm_rank)
+        self._my_rank = self.group.index(self._proc.rank)
 
     def split(self, color: int, key: int = 0, name: str = "") -> "Comm | None":
         """Collectively split by color (``UNDEFINED`` => no new comm).

@@ -40,6 +40,11 @@ class ErrorClass(enum.IntEnum):
     ERR_OTHER = 13
     #: The job was aborted (``MPI_Abort`` or a fatal error handler).
     ERR_ABORTED = 14
+    #: The communicator was revoked (ULFM ``MPI_ERR_REVOKED``): some
+    #: member called ``comm.revoke()`` and the revocation notice has
+    #: reached this process, so all non-local operations on the
+    #: communicator fail until it is shrunk and rebuilt.
+    ERR_REVOKED = 15
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
@@ -110,6 +115,20 @@ class RankFailStopError(MPIError):
 
     def __init__(self, message: str = "", **kwargs: Any) -> None:
         kwargs.setdefault("error_class", ErrorClass.ERR_RANK_FAIL_STOP)
+        super().__init__(message, **kwargs)
+
+
+class CommRevokedError(MPIError):
+    """``MPI_ERR_REVOKED``: the communicator was revoked by a member.
+
+    Raised by every operation entered on a revoked communicator, and
+    delivered through pending receives when the revocation notice
+    arrives — the ULFM mechanism that turns one rank's local error into
+    a communicator-wide interrupt (Rocco & Palermo, arXiv:2209.01849).
+    """
+
+    def __init__(self, message: str = "", **kwargs: Any) -> None:
+        kwargs.setdefault("error_class", ErrorClass.ERR_REVOKED)
         super().__init__(message, **kwargs)
 
 

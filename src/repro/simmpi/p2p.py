@@ -15,7 +15,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .errors import ErrorClass, ErrorHandler, MPIError, RankFailStopError
+from .errors import (
+    CommRevokedError,
+    ErrorClass,
+    ErrorHandler,
+    MPIError,
+    RankFailStopError,
+)
 from .request import Request, Status
 
 
@@ -40,6 +46,10 @@ def _raise_for(req: Request, index: int) -> None:
     if req.error is ErrorClass.ERR_RANK_FAIL_STOP:
         exc: MPIError = RankFailStopError(
             f"peer {peer} failed ({req.kind.value})", peer=peer, index=index
+        )
+    elif req.error is ErrorClass.ERR_REVOKED:
+        exc = CommRevokedError(
+            f"communicator revoked ({req.kind.value})", peer=peer, index=index
         )
     else:
         exc = MPIError(

@@ -122,6 +122,11 @@ class Runtime:
         self._pending_ssends: dict[int, list[Request]] = {}
         self._cid_registry: dict[tuple[int, int, Any], int] = {}
         self._next_cid = 1  # cid 0 is COMM_WORLD
+        #: Per-observer revocation knowledge: (observer rank, cid) present
+        #: means the observer has learned that the communicator was
+        #: revoked (ULFM).  Like failure knowledge, revocation spreads
+        #: with message latency — members learn at notice delivery time.
+        self._revoked: set[tuple[int, int]] = set()
         self.abort_info: JobAborted | None = None
         self.deadlock: SimulationDeadlock | None = None
         self.injectors: list[Any] = []
@@ -317,6 +322,75 @@ class Runtime:
                     status=Status(source=src, tag=req.tag,
                                   error=ErrorClass.ERR_RANK_FAIL_STOP),
                 )
+
+    # ------------------------------------------------------------------
+    # Revocation (ULFM ``MPI_Comm_revoke``)
+    # ------------------------------------------------------------------
+
+    def is_revoked(self, observer: int, cid: int) -> bool:
+        """Has *observer* learned that communicator *cid* was revoked?"""
+        return (observer, cid) in self._revoked
+
+    def revoke_comm(self, proc: SimProcess, comm: Comm) -> None:
+        """Revoke *comm* on behalf of *proc* and notify the other members.
+
+        Revocation is local-immediate at the caller and propagates to the
+        remaining members as control messages (one per member, paid for
+        by the caller like any eager send).  On arrival the member's
+        pending receives on the communicator's contexts complete with
+        ``MPI_ERR_REVOKED`` — the interrupt that kicks every rank out of
+        a broken communication pattern so they can converge on shrink.
+        """
+        if (proc.rank, comm.cid) in self._revoked:
+            return
+        self._revoke_event(proc.rank, comm.cid, proc.now)
+        for world_rank in comm.group:
+            if world_rank == proc.rank or world_rank in self.known_by[proc.rank]:
+                continue
+            proc.now += self.cost.overhead
+            deliver = proc.now + self.cost.transit_time(proc.rank, world_rank, 1)
+            self.perf.messages_sent += 1
+            self.events.schedule(
+                deliver,
+                lambda r=world_rank, c=comm.cid, t=deliver: self._revoke_event(r, c, t),
+                f"revoke:c{comm.cid}@r{world_rank}",
+            )
+
+    def _revoke_event(self, rank: int, cid: int, time: float) -> None:
+        """A revocation notice for *cid* takes effect at *rank*."""
+        if (rank, cid) in self._revoked:
+            return
+        proc = self.procs[rank]
+        if not proc.alive():
+            return
+        self._revoked.add((rank, cid))
+        self.trace.record(time, TraceKind.REVOKE, rank, cid=cid)
+        from .communicator import CONTEXTS_PER_COMM, CTX_AM
+
+        lo = cid * CONTEXTS_PER_COMM
+        am_ctx = lo + CTX_AM
+        for req in list(proc.engine.pending_recvs()):
+            ctx = req.context
+            # The AM context keeps working: consensus (validate / agree)
+            # must still run on a revoked communicator to reach shrink.
+            if ctx is None or not lo <= ctx < lo + CONTEXTS_PER_COMM:
+                continue
+            if ctx == am_ctx:
+                continue
+            proc.engine.remove_posted(req)
+            self.trace.record(
+                time, TraceKind.REQ_ERROR, rank,
+                req=req.id, cid=cid, reqkind=req.kind.value,
+            )
+            req.complete(
+                time,
+                error=ErrorClass.ERR_REVOKED,
+                status=Status(source=req.peer, tag=req.tag,
+                              error=ErrorClass.ERR_REVOKED),
+            )
+        if proc.wants_arrival_wake:
+            proc.wants_arrival_wake = False
+            proc.wake(time, "communicator revoked while probing")
 
     # ------------------------------------------------------------------
     # Fault injection hooks

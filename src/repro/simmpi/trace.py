@@ -36,6 +36,7 @@ class TraceKind(enum.Enum):
     REQ_ERROR = "req_error"
     FAILURE = "failure"
     DETECT = "detect"
+    REVOKE = "revoke"  # a communicator revocation notice took effect
     VALIDATE = "validate"
     COLLECTIVE = "collective"
     ABORT = "abort"

@@ -332,6 +332,74 @@ class TestCli:
         assert detect_backend(root) == "sqlite"
 
 
+# ---------------------------------------------------------------------------
+# Protocol participation in the key surface (PR 8 regression)
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolKeying:
+    """``protocol`` is a determinism-relevant spec field: jobs that
+    differ only in the recovery family must never share a cache entry —
+    a cached RTS outcome served for a shrink/repair run would be a
+    silent wrong answer at campaign scale."""
+
+    def _job(self, protocol, **kw):
+        from repro.protocols import ProtocolCompareJob
+
+        base = dict(nprocs=5, iters=4, seed=1, horizon=2e-5)
+        base.update(kw)
+        return ProtocolCompareJob(protocol=protocol, **base)
+
+    def test_protocol_distinguishes_job_keys(self):
+        from repro.protocols import PROTOCOLS
+
+        keys = {job_key(self._job(p)) for p in PROTOCOLS}
+        assert len(keys) == len(PROTOCOLS)
+
+    def test_ring_scenario_protocol_distinguishes_job_keys(self):
+        from repro.faults.campaign import CampaignJob
+        from repro.parallel import RingScenario
+
+        def key_for(protocol):
+            return job_key(
+                CampaignJob(
+                    factory=RingScenario(
+                        nprocs=5, iters=4, protocol=protocol
+                    ),
+                    seed=1,
+                    horizon=2e-5,
+                    kills_per_run=1,
+                    eligible_ranks=(1, 2, 3, 4),
+                )
+            )
+
+        assert key_for("rts") != key_for("shrink_repair")
+        # ...while everything else equal still dedups.
+        assert key_for("rts") == key_for("rts")
+
+    def test_spares_distinguish_job_keys(self):
+        assert job_key(
+            self._job("partial_restart", spares=2)
+        ) != job_key(self._job("partial_restart", spares=3))
+
+    def test_cached_rts_outcome_not_served_for_other_protocol(self, cache):
+        from repro.parallel import make_runner
+
+        runner = CachedRunner(cache=cache, inner=make_runner(None))
+        (rts_rec,) = runner.run([self._job("rts")])
+        before = perf.CACHE.snapshot()
+        (sr_rec,) = runner.run([self._job("shrink_repair")])
+        d = perf.CACHE.delta(before)
+        assert d["hits"] == 0 and d["misses"] == 1 and d["stores"] == 1
+        assert sr_rec.protocol == "shrink_repair"
+        assert rts_rec.kills == sr_rec.kills  # same schedule, fresh run
+        # And the warm hit goes to the *right* entry.
+        before = perf.CACHE.snapshot()
+        (again,) = runner.run([self._job("shrink_repair")])
+        assert perf.CACHE.delta(before)["hits"] == 1
+        assert again == sr_rec
+
+
 def test_make_store_rejects_unknown(tmp_path):
     with pytest.raises(ValueError):
         make_store("tar", tmp_path)

@@ -38,6 +38,15 @@ CASES = [
     ("trace_random_s3", "random", 3),
 ]
 
+#: (golden file stem, protocol) — the recovery-protocol presets of
+#: ``repro trace`` (fig7's shape: 4 logical ranks, 4 iterations, rank 2
+#: fail-stopped mid-run) driven by each :mod:`repro.protocols` family.
+PROTOCOL_CASES = [
+    ("trace_shrink_repair", "shrink_repair"),
+    ("trace_replication", "replication"),
+    ("trace_partial_restart", "partial_restart"),
+]
+
 #: Every importable fiber backend verifies against the *same* goldens.
 BACKENDS = available_backends()
 
@@ -62,6 +71,24 @@ def _run_scenario(policy: str, seed: int, fibers: str | None = None) -> str:
     return result.trace.format() + "\n"
 
 
+def _run_protocol_scenario(protocol: str, fibers: str | None = None) -> str:
+    """The ``repro trace`` preset shape for the recovery-protocol
+    families: the fig7 ring (4 logical ranks, 4 iterations) with rank 2
+    fail-stopped at a fixed virtual time and a non-zero detection
+    latency.  Each family turns the same kill into a different timeline
+    — revoke/shrink epochs, replica failover, respawn + state transfer —
+    and each timeline must be byte-stable across kernels and backends."""
+    from repro.protocols import ProtocolRingConfig, ring_mains
+
+    nproc, main = ring_mains(protocol, ProtocolRingConfig(max_iter=4), 4)
+    sim = Simulation(
+        nprocs=nproc, seed=0, detection_latency=2e-6, fibers=fibers
+    )
+    sim.add_injector(KillAtTime(rank=2, time=1.5e-5))
+    result = sim.run(main, on_deadlock="return")
+    return result.trace.format() + "\n"
+
+
 @pytest.mark.parametrize("fibers", BACKENDS)
 @pytest.mark.parametrize("stem,policy,seed", CASES)
 def test_trace_matches_golden(
@@ -80,6 +107,24 @@ def test_trace_stable_across_runs(
             == _run_scenario(policy, seed, fibers))
 
 
+@pytest.mark.parametrize("fibers", BACKENDS)
+@pytest.mark.parametrize("stem,protocol", PROTOCOL_CASES)
+def test_protocol_trace_matches_golden(
+    stem: str, protocol: str, fibers: str
+) -> None:
+    golden = (GOLDEN_DIR / f"{stem}.txt").read_text()
+    assert _run_protocol_scenario(protocol, fibers) == golden
+
+
+@pytest.mark.parametrize("fibers", BACKENDS)
+@pytest.mark.parametrize("stem,protocol", PROTOCOL_CASES)
+def test_protocol_trace_stable_across_runs(
+    stem: str, protocol: str, fibers: str
+) -> None:
+    assert (_run_protocol_scenario(protocol, fibers)
+            == _run_protocol_scenario(protocol, fibers))
+
+
 if __name__ == "__main__":
     import sys
 
@@ -88,5 +133,9 @@ if __name__ == "__main__":
     GOLDEN_DIR.mkdir(exist_ok=True)
     for stem, policy, seed in CASES:
         out = _run_scenario(policy, seed)
+        (GOLDEN_DIR / f"{stem}.txt").write_text(out)
+        print(f"wrote {stem}.txt ({len(out.splitlines())} lines)")
+    for stem, protocol in PROTOCOL_CASES:
+        out = _run_protocol_scenario(protocol)
         (GOLDEN_DIR / f"{stem}.txt").write_text(out)
         print(f"wrote {stem}.txt ({len(out.splitlines())} lines)")

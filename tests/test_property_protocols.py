@@ -15,7 +15,14 @@ from repro.analysis import standard_ring_invariants
 from repro.apps import FarmConfig, expected_results, make_farm_mains
 from repro.core import RingConfig, Termination, make_ring_main, make_rootft_main
 from repro.faults import KillAtTime
-from repro.ft import comm_validate_all
+from repro.ft import comm_shrink, comm_validate_all
+from repro.parallel import RingScenario
+from repro.protocols import (
+    ABORT_REPLICAS_EXHAUSTED,
+    ABORT_RING_ALONE,
+    ABORT_ROOT_LOST,
+    ABORT_SPARES_EXHAUSTED,
+)
 from repro.simmpi import ErrorHandler, Simulation
 
 COMMON = dict(
@@ -101,6 +108,92 @@ class TestRingUnderRandomFaults:
         for inv in standard_ring_invariants(5, 5, allow_root_loss=True):
             violation = inv(r)
             assert violation is None, (violation, kills, seed)
+
+
+class TestRecoveryFamiliesUnderRandomFaults:
+    """The :mod:`repro.protocols` families on hypothesis-drawn schedules.
+
+    The contract is *no silent wrong answer*: whatever the schedule,
+    every family either completes with the correct survivor state (all
+    markers logged exactly once at a root) or aborts with one of its
+    documented classification codes — and the shared ring battery holds
+    either way.
+    """
+
+    PROTOCOL_ABORTS = {
+        "shrink_repair": {ABORT_RING_ALONE},
+        "replication": {ABORT_REPLICAS_EXHAUSTED},
+        "partial_restart": {
+            ABORT_RING_ALONE,
+            ABORT_SPARES_EXHAUSTED,
+            ABORT_ROOT_LOST,
+        },
+    }
+
+    @given(
+        protocol=st.sampled_from(
+            ["shrink_repair", "replication", "partial_restart"]
+        ),
+        kills=kills_strategy(5, horizon=3e-5, max_kills=3),
+        lat=st.sampled_from([0.0, 5e-7, 2e-6]),
+    )
+    @settings(**COMMON)
+    def test_correct_state_or_classified_abort(self, protocol, kills, lat):
+        scenario = RingScenario(
+            nprocs=5, iters=5, detection_latency=lat, protocol=protocol
+        )
+        sim, main = scenario()
+        for rank, t in kills:
+            sim.kill(rank, at_time=t)
+        r = sim.run(main, on_deadlock="return")
+        assert not r.hung, (protocol, kills, lat, r.deadlock)
+        for inv in standard_ring_invariants(5, 5):
+            violation = inv(r)
+            assert violation is None, (protocol, kills, lat, violation)
+        if r.aborted is not None:
+            assert r.aborted.code in self.PROTOCOL_ABORTS[protocol], (
+                protocol, kills, lat, r.aborted,
+            )
+            return
+        roots = [
+            o.value
+            for o in r.outcomes
+            if o.state == "done"
+            and isinstance(o.value, dict)
+            and o.value["role"] == "root"
+        ]
+        assert roots, (protocol, kills, lat)
+        for root in roots:
+            markers = [m for m, _ in root["root_completions"]]
+            assert markers == list(range(5)), (protocol, kills, lat)
+
+
+class TestShrinkGroupOrder:
+    """``comm_shrink`` preserves the survivors' relative rank order."""
+
+    @given(
+        victims=st.sets(st.integers(1, 5), max_size=3),
+        lat=st.sampled_from([5e-7, 2e-6]),
+    )
+    @settings(**COMMON)
+    def test_shrunken_group_is_ordered_subsequence(self, victims, lat):
+        def main(mpi):
+            comm = mpi.comm_world
+            comm.set_errhandler(ErrorHandler.ERRORS_RETURN)
+            mpi.compute(1e-4)  # outlive every kill + detection
+            new = comm_shrink(comm)
+            return tuple(new.group)
+
+        sim = Simulation(nprocs=6, detection_latency=lat)
+        for i, rank in enumerate(sorted(victims)):
+            sim.kill(rank, at_time=1e-5 + i * 1e-6)
+        r = sim.run(main, on_deadlock="return")
+        assert not r.hung, r.deadlock
+        survivors = tuple(w for w in range(6) if w not in victims)
+        groups = set(r.values().values())
+        # Every survivor built the same communicator, its group is
+        # exactly the survivor set, and world-rank order is preserved.
+        assert groups == {survivors}
 
 
 class TestFarmUnderRandomFaults:
