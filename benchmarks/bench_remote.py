@@ -1,0 +1,143 @@
+"""EXP-REMOTE — distributed dispatch overhead vs the in-process pool.
+
+The distributed transport's promise is that moving sweep chunks over a
+socket instead of a ``ProcessPoolExecutor`` pipe costs, at worst, a
+modest constant factor — the simulations dominate and the wire carries
+only compressed job/outcome pickles.  Two series pin that on loopback:
+
+* ``bench_campaign_pool`` — a one-worker in-process pool (the fairest
+  local analogue of a one-worker fleet: same chunking, same
+  submission-order merge, one process executing);
+* ``bench_campaign_remote_loopback`` — the same campaign through a
+  ``repro worker serve`` subprocess on 127.0.0.1; the bench asserts the
+  reports are byte-identical and that loopback dispatch costs at most
+  ``OVERHEAD_CEILING`` of the pool (it is usually *cheaper*: the worker
+  is already warm, while the pool forks fresh processes per sweep).
+
+Both series land in ``BENCH_simperf.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.faults import run_campaign
+from repro.parallel import (
+    ProcessPoolRunner,
+    RemoteRunner,
+    RingScenario,
+    StandardRingInvariants,
+)
+from conftest import _PERF, emit, timed
+
+N = 4
+ITERS = 3
+RUNS = 80
+SCENARIO = RingScenario(nprocs=N, iters=ITERS)
+INVARIANTS = StandardRingInvariants(ITERS, N)
+#: Loopback socket dispatch may not cost more than this over the pool.
+OVERHEAD_CEILING = 1.5
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def worker_addr():
+    """One warm ``repro worker serve`` subprocess on an ephemeral port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "serve",
+         "--bind", "127.0.0.1:0"],
+        cwd=REPO_ROOT,
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stderr.readline()
+    assert "listening on" in line, f"worker failed to start: {line!r}"
+    hostport = line.split("listening on ")[1].split()[0]
+    host, port = hostport.rsplit(":", 1)
+    yield (host, int(port))
+    proc.terminate()
+    proc.stderr.close()
+    proc.wait(timeout=10)
+
+
+def _campaign(runner):
+    return run_campaign(
+        SCENARIO,
+        seeds=range(RUNS),
+        horizon=2e-5,
+        invariants=INVARIANTS,
+        runner=runner,
+    )
+
+
+def bench_campaign_pool(benchmark):
+    reports = []
+    timed(
+        benchmark,
+        lambda: reports.append(_campaign(ProcessPoolRunner(workers=1))),
+    )
+    s = reports[-1].summary()
+    emit(
+        f"campaign via one-worker pool ({RUNS} runs, fig2 ring n={N})",
+        ascii_table(
+            ["runs", "ok", "hangs", "violations", "aborts"],
+            [[s["runs"], s["ok"], s["hangs"], s["violations"], s["aborts"]]],
+        ),
+    )
+    assert s["runs"] == RUNS
+
+
+def bench_campaign_remote_loopback(benchmark, worker_addr):
+    reports = []
+    runners = []
+
+    def once():
+        runner = RemoteRunner(addresses=[worker_addr])
+        runners.append(runner)
+        reports.append(_campaign(runner))
+
+    timed(benchmark, once)
+    remote = reports[-1]
+    assert remote.format() == _campaign(ProcessPoolRunner(workers=1)).format()
+
+    remote_s = min(_PERF["bench_campaign_remote_loopback"])
+    stats = runners[-1].worker_stats()[0]
+    rows = [["remote (loopback)", f"{remote_s:.4f}", "-"]]
+    pool_series = _PERF.get("bench_campaign_pool")
+    if pool_series:
+        pool_s = min(pool_series)
+        ratio = remote_s / pool_s if pool_s > 0 else float("inf")
+        rows.insert(0, ["pool (1 worker)", f"{pool_s:.4f}", "-"])
+        rows[-1][-1] = f"{ratio:.2f}x"
+        assert ratio <= OVERHEAD_CEILING, (
+            f"loopback dispatch cost {ratio:.2f}x the in-process pool "
+            f"(ceiling: {OVERHEAD_CEILING}x)"
+        )
+    emit(
+        "campaign, remote loopback (same runs over the socket transport)",
+        ascii_table(["mode", "min wall s", "overhead"], rows),
+    )
+    emit(
+        "remote transport wire profile (one sweep)",
+        ascii_table(
+            ["chunks", "jobs", "wire bytes", "compression"],
+            [[
+                stats["chunks"],
+                stats["jobs"],
+                stats["bytes_out"] + stats["bytes_in"],
+                f"{stats['compression']}x",
+            ]],
+        ),
+    )

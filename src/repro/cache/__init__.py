@@ -27,7 +27,7 @@ uncached one — the cache changes wall-clock time and nothing else.
 """
 
 from .keys import KEY_FORMAT, Uncacheable, canonical_token, job_key
-from .runner import CachedRunner
+from .runner import CachedRunner, attach_cache
 from .store import (
     BACKENDS,
     CacheStore,
@@ -49,6 +49,7 @@ __all__ = [
     "RunCache",
     "Uncacheable",
     "VerifyResult",
+    "attach_cache",
     "canonical_token",
     "default_cache_dir",
     "detect_backend",

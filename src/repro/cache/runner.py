@@ -35,9 +35,29 @@ from ..parallel.runner import SerialRunner, SweepJob, SweepRunner
 from .keys import job_key
 from .store import RunCache
 
-__all__ = ["CachedRunner"]
+__all__ = ["CachedRunner", "attach_cache"]
 
 _PENDING = object()
+
+
+def attach_cache(runner: SweepRunner, cache: Any) -> SweepRunner:
+    """Give *runner* a cache in the way that suits its transport.
+
+    A runner with native cache support — ``RemoteRunner``, whose
+    workers perform the lookups themselves so warm entries never cross
+    the wire — gets the cache attached in place; every other runner is
+    wrapped in :class:`CachedRunner` (parent-side lookups).  ``cache``
+    is anything ``RunCache.at`` accepts; ``None``/``False`` returns the
+    runner unchanged.  Either way the counters in ``repro.perf.CACHE``
+    stay exact and the report stays byte-identical to an uncached run.
+    """
+    if cache is None or cache is False:
+        return runner
+    native = getattr(runner, "attach_cache", None)
+    if callable(native):
+        native(RunCache.at(cache))
+        return runner
+    return CachedRunner(cache=RunCache.at(cache), inner=runner)
 
 
 @dataclass(frozen=True)

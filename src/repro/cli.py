@@ -170,6 +170,116 @@ def _apply_fibers(args: argparse.Namespace) -> None:
         os.environ["REPRO_FIBERS"] = args.fibers
 
 
+def _positive_int(value: str) -> int:
+    """argparse type for counts that must be >= 1 (``--workers``,
+    ``--stream-window``): a clear parse-time error instead of a
+    traceback from the runner constructor."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer")
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (got {n})")
+    return n
+
+
+def _worker_addrs(value: str):
+    """argparse type for ``--workers-addr HOST:PORT[,HOST:PORT...]``."""
+    from .parallel.remote import parse_worker_addrs
+
+    try:
+        return parse_worker_addrs(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _worker_addr(value: str):
+    """argparse type for a single ``HOST:PORT``."""
+    addrs = _worker_addrs(value)
+    if len(addrs) != 1:
+        raise argparse.ArgumentTypeError("expected exactly one HOST:PORT")
+    return addrs[0]
+
+
+def _bind_addr(value: str):
+    """argparse type for ``worker serve --bind``: like :func:`_worker_addr`
+    but port ``0`` is allowed — it asks the OS for an ephemeral port
+    (the bound port is printed in the readiness line)."""
+    host, sep, port_s = value.rpartition(":")
+    if sep and host and port_s == "0":
+        return (host, 0)
+    return _worker_addr(value)
+
+
+def _add_workers_arg(p: argparse.ArgumentParser, what: str = "runs") -> None:
+    p.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help=f"fan the {what} over N worker processes "
+             "(default: serial; the report is identical)",
+    )
+
+
+def _add_transport_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--transport", default="local", choices=["local", "remote"],
+        help="where sweep jobs execute: 'local' (in-process, or the "
+             "--workers process pool) or 'remote' (a socket worker fleet "
+             "named by --workers-addr; start workers with `repro worker "
+             "serve`) — the report is byte-identical either way",
+    )
+    p.add_argument(
+        "--workers-addr", type=_worker_addrs, default=None,
+        metavar="HOST:PORT,...",
+        help="comma-separated worker addresses for --transport remote",
+    )
+
+
+def _add_stream_window_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--stream-window", type=_positive_int, default=None, metavar="N",
+        help="max jobs in flight for --stream (default: the runner's "
+             "window, 1024 serial; any window yields submission-order "
+             "results)",
+    )
+
+
+def _sweep_runner(args: argparse.Namespace):
+    """The runner selected by --transport/--workers-addr, or ``None``
+    to let the entry point build its local runner from ``--workers``."""
+    addrs = getattr(args, "workers_addr", None)
+    if getattr(args, "transport", "local") == "remote":
+        if not addrs:
+            raise SystemExit(
+                "--transport remote requires --workers-addr HOST:PORT[,...]"
+            )
+        from .parallel.remote import RemoteRunner
+
+        return RemoteRunner(addresses=addrs)
+    if addrs:
+        raise SystemExit("--workers-addr requires --transport remote")
+    return None
+
+
+def _report_remote(runner) -> None:
+    """Per-worker transport telemetry on **stderr** (stdout carries the
+    report and must stay byte-identical to a serial run)."""
+    if runner is None:
+        return
+    from .obs.telemetry import runner_worker_stats
+
+    for s in runner_worker_stats(runner):
+        wire = s["bytes_out"] + s["bytes_in"]
+        ratio = s.get("compression")
+        print(
+            f"[remote] {s['worker']} pid={s['pid']} chunks={s['chunks']} "
+            f"jobs={s['jobs']} rtt={s['rtt_s'] * 1e3:.1f}ms wire={wire}B"
+            + (f" ratio={ratio}x" if ratio else "")
+            + f" cache_hits={s['cache_hits']} cache_misses={s['cache_misses']}"
+            + f" disconnects={s['disconnects']}",
+            file=sys.stderr,
+        )
+
+
 def _add_cache_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=False,
@@ -325,6 +435,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         def progress(done: int, total: int) -> None:
             print(f"[explore] {done}/{total} scenarios", file=sys.stderr)
     before = _cache_counters_snapshot(args)
+    runner = _sweep_runner(args)
     rep = explore(
         _ring_scenario(args),
         invariants=StandardRingInvariants(
@@ -334,13 +445,16 @@ def cmd_explore(args: argparse.Namespace) -> int:
         pairs=args.pairs,
         max_windows=args.limit,
         workers=args.workers,
+        runner=runner,
         cache=_cache_arg(args),
         progress=progress,
         telemetry=args.telemetry,
         stream=args.stream,
+        stream_window=args.stream_window,
     )
     print(rep.format())
     _report_cache(args, before)
+    _report_remote(runner)
     return 1 if rep.failures else 0
 
 
@@ -350,6 +464,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.rootft:
         eligible = list(range(args.nprocs))  # the root may die too
     before = _cache_counters_snapshot(args)
+    runner = _sweep_runner(args)
     rep = run_campaign(
         _ring_scenario(args),
         seeds=range(args.first_seed, args.first_seed + args.runs),
@@ -360,12 +475,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             args.iters, args.nprocs, allow_root_loss=args.rootft
         ),
         workers=args.workers,
+        runner=runner,
         cache=_cache_arg(args),
         telemetry=args.telemetry,
         stream=args.stream,
+        stream_window=args.stream_window,
     )
     print(rep.format())
     _report_cache(args, before)
+    _report_remote(runner)
     return 1 if rep.failures else 0
 
 
@@ -375,6 +493,7 @@ def cmd_compare_protocols(args: argparse.Namespace) -> int:
     _apply_fibers(args)
     protocols = tuple(args.protocols) if args.protocols else PROTOCOLS
     before = _cache_counters_snapshot(args)
+    runner = _sweep_runner(args)
     rep = run_compare_protocols(
         nprocs=args.nprocs,
         iters=args.iters,
@@ -386,10 +505,12 @@ def cmd_compare_protocols(args: argparse.Namespace) -> int:
         sim_seed=args.seed,
         detection_latency=args.detection_latency,
         workers=args.workers,
+        runner=runner,
         cache=_cache_arg(args),
     )
     print(rep.format())
     _report_cache(args, before)
+    _report_remote(runner)
     s = rep.summary()
     bad = sum(s[p]["hangs"] + s[p]["violations"] for p in protocols)
     return 1 if bad else 0
@@ -515,7 +636,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             _fuzz_scenario(args),
             budget=args.runs,
             seed=args.fuzz_seed,
-            runner=make_runner(args.workers),
+            runner=_sweep_runner(args) or make_runner(args.workers),
             guided=not args.coverage_uniform,
             max_jitter=args.max_jitter,
             min_kills=args.min_kills,
@@ -528,11 +649,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 1 if rep.failures else 0
 
     before = _cache_counters_snapshot(args)
+    runner = _sweep_runner(args)
     report = fuzz(
         _fuzz_scenario(args),
         runs=args.runs,
         seed=args.fuzz_seed,
-        runner=make_runner(args.workers),
+        runner=runner or make_runner(args.workers),
         cache=_cache_arg(args),
         shrink_failures=not args.no_shrink,
         max_jitter=args.max_jitter,
@@ -541,10 +663,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         telemetry=args.telemetry,
         stream=args.stream,
+        stream_window=args.stream_window,
     )
     print(report.format(verbose=args.verbose)
           if not args.stream else report.format())
     _report_cache(args, before)
+    _report_remote(runner)
     if args.out_dir and report.failures:
         out = Path(args.out_dir)
         out.mkdir(parents=True, exist_ok=True)
@@ -560,6 +684,24 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             write_repro(config, path)
             print(f"wrote {path}")
     return 1 if report.failures else 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .parallel import remote
+
+    if args.worker_cmd == "serve":
+        _apply_fibers(args)
+        remote.serve(args.bind)
+        return 0
+    # ping
+    host, port = args.addr
+    try:
+        info = remote.ping(args.addr, timeout=args.timeout)
+    except OSError as exc:
+        print(f"[worker] {host}:{port} unreachable: {exc}", file=sys.stderr)
+        return 1
+    print(f"[worker] {host}:{port} pid={info['pid']} busy={info['busy']}")
+    return 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -761,9 +903,8 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--limit", type=int, default=None, metavar="N",
                     help="cap the enumeration at the first N windows "
                          "(the report names what was considered)")
-    ex.add_argument("--workers", type=int, default=None,
-                    help="fan the re-runs over N worker processes "
-                         "(default: serial; the report is identical)")
+    _add_workers_arg(ex, "re-runs")
+    _add_transport_args(ex)
     ex.add_argument("--progress", action="store_true",
                     help="report sweep liveness on stderr as batches "
                          "complete")
@@ -774,6 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--stream", action="store_true",
                     help="pipe windows through the streaming pipeline "
                          "(O(failures) memory; same report text)")
+    _add_stream_window_arg(ex)
     _add_cache_args(ex)
     ex.set_defaults(fn=cmd_explore)
 
@@ -796,9 +938,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="kill times are sampled uniformly in [0, horizon)")
     camp.add_argument("--kills", type=int, default=1,
                       help="fail-stops injected per run")
-    camp.add_argument("--workers", type=int, default=None,
-                      help="fan the runs over N worker processes "
-                           "(default: serial; the report is identical)")
+    _add_workers_arg(camp)
+    _add_transport_args(camp)
     _add_fibers_arg(camp)
     camp.add_argument("--telemetry", default=None, metavar="FILE",
                       help="stream per-job telemetry (JSONL) to FILE; "
@@ -807,6 +948,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="pipe runs through the streaming pipeline — "
                            "memory stays O(failures) however large --runs "
                            "gets; the report text is identical")
+    _add_stream_window_arg(camp)
     _add_cache_args(camp)
     camp.set_defaults(fn=cmd_campaign)
 
@@ -838,9 +980,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fail-stops injected per run")
     cp.add_argument("--spares", type=int, default=2,
                     help="spare ranks for partial_restart")
-    cp.add_argument("--workers", type=int, default=None,
-                    help="fan the runs over N worker processes "
-                         "(default: serial; the report is identical)")
+    _add_workers_arg(cp)
+    _add_transport_args(cp)
     _add_fibers_arg(cp)
     _add_cache_args(cp)
     cp.set_defaults(fn=cmd_compare_protocols)
@@ -919,9 +1060,8 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--horizon", type=float, default=None,
                     help="kill-time upper bound (default: measured from "
                          "an unperturbed run)")
-    fz.add_argument("--workers", type=int, default=None,
-                    help="fan the runs over N worker processes "
-                         "(default: serial; the report is identical)")
+    _add_workers_arg(fz)
+    _add_transport_args(fz)
     fz.add_argument("--no-shrink", action="store_true",
                     help="skip delta-debugging of failures")
     fz.add_argument("--out-dir", default=None, metavar="DIR",
@@ -935,6 +1075,7 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--stream", action="store_true",
                     help="pipe configs through the streaming pipeline "
                          "(O(failures) memory; --verbose unavailable)")
+    _add_stream_window_arg(fz)
     fz.add_argument("--coverage", action="store_true",
                     help="coverage-guided mode: keep configs that hit "
                          "novel coverage cells and mutate them (--runs "
@@ -1024,6 +1165,32 @@ def build_parser() -> argparse.ArgumentParser:
                           "lines instead of a summary — byte-diffable "
                           "between serial and pooled runs")
     rep.set_defaults(fn=cmd_report)
+
+    wk = sub.add_parser(
+        "worker",
+        help="distributed sweep workers (the --transport remote backend)",
+    )
+    wksub = wk.add_subparsers(dest="worker_cmd", required=True)
+    wkserve = wksub.add_parser(
+        "serve",
+        help="execute sweep chunks over a socket until interrupted "
+             "(prints '[worker] ... listening on HOST:PORT' on stderr "
+             "when ready)",
+    )
+    wkserve.add_argument("--bind", type=_bind_addr, default=("127.0.0.1", 0),
+                         metavar="HOST:PORT",
+                         help="listen address; port 0 picks a free port "
+                              "(default: 127.0.0.1:0 — frames are pickles, "
+                              "bind to loopback or a trusted network only)")
+    _add_fibers_arg(wkserve)
+    wkserve.set_defaults(fn=cmd_worker)
+    wkping = wksub.add_parser(
+        "ping", help="liveness-check one worker (exit 0 if it answers)"
+    )
+    wkping.add_argument("addr", type=_worker_addr, metavar="HOST:PORT")
+    wkping.add_argument("--timeout", type=float, default=2.0,
+                        help="connect/reply budget in seconds (default: 2)")
+    wkping.set_defaults(fn=cmd_worker)
 
     rp = sub.add_parser(
         "replay", help="re-run saved .repro.json reproducers and verify"

@@ -227,6 +227,7 @@ def run_campaign(
     cache: Any = None,
     telemetry: str | None = None,
     stream: bool = False,
+    stream_window: int | None = None,
 ) -> "CampaignReport | CampaignSummary":
     """Sample ``len(seeds)`` runs, each killing ``kills_per_run`` distinct
     ranks at uniform-random virtual times in ``[0, horizon)``.
@@ -256,6 +257,9 @@ def run_campaign(
     a :class:`CampaignSummary` as they complete — memory stays
     O(failures) regardless of ``len(seeds)``, and ``summary()`` /
     ``format()`` are byte-identical to the materialized report's.
+    ``stream_window`` overrides the runner's in-flight window size
+    (``--stream-window`` on the CLI); any window, including 1, yields
+    the same submission-order results.
     """
     eligible = tuple(eligible_ranks) if eligible_ranks is not None else None
 
@@ -273,9 +277,9 @@ def run_campaign(
     if runner is None:
         runner = make_runner(workers)
     if cache is not None and cache is not False:
-        from ..cache import CachedRunner, RunCache
+        from ..cache import attach_cache
 
-        runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
+        runner = attach_cache(runner, cache)
     if stream:
         jobs_iter = (make_job(seed) for seed in seeds)
         summary = CampaignSummary()
@@ -286,12 +290,14 @@ def run_campaign(
                 telemetry, kind="campaign", total=len(seeds), workers=workers
             )
             try:
-                for run in run_recorded_stream(runner, jobs_iter, writer):
+                for run in run_recorded_stream(
+                    runner, jobs_iter, writer, window=stream_window
+                ):
                     summary.add(run)
             finally:
                 writer.close()
         else:
-            for run in runner.run_stream(jobs_iter):
+            for run in runner.run_stream(jobs_iter, window=stream_window):
                 summary.add(run)
         return summary
     jobs = [make_job(seed) for seed in seeds]

@@ -298,6 +298,7 @@ def explore(
     progress: Callable[[int, int], None] | None = None,
     telemetry: str | None = None,
     stream: bool = False,
+    stream_window: int | None = None,
 ) -> "ExplorationReport | ExplorationSummary":
     """Exhaustively inject a failure at every reachable window.
 
@@ -380,9 +381,9 @@ def explore(
     if runner is None:
         runner = make_runner(workers)
     if cache is not None and cache is not False:
-        from ..cache import CachedRunner, RunCache
+        from ..cache import attach_cache
 
-        runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
+        runner = attach_cache(runner, cache)
     writer = None
     if telemetry:
         from ..obs.telemetry import TelemetryWriter
@@ -396,9 +397,11 @@ def explore(
             if writer is not None:
                 from ..obs.telemetry import run_recorded_stream
 
-                values = run_recorded_stream(runner, iter_jobs(), writer)
+                values = run_recorded_stream(
+                    runner, iter_jobs(), writer, window=stream_window
+                )
             else:
-                values = runner.run_stream(iter_jobs())
+                values = runner.run_stream(iter_jobs(), window=stream_window)
             if progress is not None:
                 progress(0, total)
             step = max(1, math.ceil(total / 16))
@@ -456,4 +459,8 @@ def _run_with_progress(
             outcomes.extend(runner.run(batch))
         if progress is not None:
             progress(len(outcomes), total)
+    if writer is not None:
+        from ..obs.telemetry import runner_worker_stats
+
+        writer.record_workers(runner_worker_stats(runner))
     return outcomes

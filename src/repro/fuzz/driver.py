@@ -430,6 +430,7 @@ def fuzz(
     max_shrink_attempts: int = 300,
     telemetry: str | None = None,
     stream: bool = False,
+    stream_window: int | None = None,
     **sample_options: Any,
 ) -> "FuzzReport | FuzzSummary":
     """Run one seeded fuzz campaign end to end.
@@ -460,9 +461,9 @@ def fuzz(
     """
     runner = runner or SerialRunner()
     if cache is not None and cache is not False:
-        from ..cache import CachedRunner, RunCache
+        from ..cache import attach_cache
 
-        runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
+        runner = attach_cache(runner, cache)
     if stream:
         jobs_iter = (
             FuzzJob(config=c, index=i, invariants=invariants)
@@ -478,12 +479,14 @@ def fuzz(
                 telemetry, kind="fuzz", total=runs, workers=None
             )
             try:
-                for outcome in run_recorded_stream(runner, jobs_iter, writer):
+                for outcome in run_recorded_stream(
+                    runner, jobs_iter, writer, window=stream_window
+                ):
                     summary.add(outcome)
             finally:
                 writer.close()
         else:
-            for outcome in runner.run_stream(jobs_iter):
+            for outcome in runner.run_stream(jobs_iter, window=stream_window):
                 summary.add(outcome)
         if shrink_failures:
             summary.shrunk = [

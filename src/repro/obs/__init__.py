@@ -41,6 +41,7 @@ from .telemetry import (
     read_telemetry,
     run_recorded,
     run_recorded_stream,
+    runner_worker_stats,
     summarize,
     telemetry_errors,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "run_recorded",
     "run_recorded_stream",
     "run_report",
+    "runner_worker_stats",
     "summarize",
     "telemetry_errors",
     "trace_to_jsonl",

@@ -28,6 +28,7 @@ cache hit rate — no simulation is re-run.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import time
@@ -47,6 +48,7 @@ __all__ = [
     "read_telemetry",
     "run_recorded",
     "run_recorded_stream",
+    "runner_worker_stats",
     "summarize",
     "telemetry_errors",
 ]
@@ -215,8 +217,34 @@ class TelemetryWriter:
             values.append(res.value)
         return values
 
+    def record_workers(self, stats: Sequence[dict[str, Any]]) -> None:
+        """Write one ``kind: "worker"`` line per remote worker.
+
+        Emitted by distributed sweeps (``RemoteRunner.worker_stats()``):
+        transport-level telemetry — chunks, rtt, bytes shipped raw vs
+        on the wire, worker-side cache hits — that per-job lines cannot
+        carry.  Entirely placement/wall-time dependent, so the whole
+        line is volatile and :func:`canonical_lines` drops it (a serial
+        run of the same sweep has no worker lines to match).
+        """
+        for s in stats:
+            rec = {"kind": "worker"}
+            rec.update(s)
+            self._write(rec)
+
     def close(self) -> None:
         self._fh.close()
+
+
+def runner_worker_stats(runner: Any) -> list[dict[str, Any]]:
+    """Per-worker transport stats from *runner*, if it (or the runner it
+    wraps, e.g. under ``CachedRunner``) exposes ``worker_stats()`` —
+    empty for serial/pool runners, one row per address for remote."""
+    for r in (runner, getattr(runner, "inner", None)):
+        fn = getattr(r, "worker_stats", None)
+        if callable(fn):
+            return list(fn())
+    return []
 
 
 def run_recorded(
@@ -225,30 +253,34 @@ def run_recorded(
     """Run *jobs* through *runner* with telemetry; return unwrapped values."""
     wrapped = writer.wrap(jobs)
     results = runner.run(wrapped)
-    return writer.record(
+    values = writer.record(
         results, retries=getattr(runner, "job_retries", None)
     )
+    writer.record_workers(runner_worker_stats(runner))
+    return values
 
 
 def run_recorded_stream(
-    runner: Any, jobs: Any, writer: TelemetryWriter
+    runner: Any, jobs: Any, writer: TelemetryWriter, *,
+    window: int | None = None,
 ) -> Any:
     """Streaming :func:`run_recorded`: yield unwrapped values one at a
     time, writing each job's telemetry line as its result arrives.
 
     *jobs* may be any iterable (a lazy generator included) — it is
-    wrapped and consumed incrementally through ``runner.run_stream``,
-    so neither the job list nor the result list is ever materialized.
-    The runner's cumulative ``job_retries`` (indexed by global
-    submission order, exactly like each result's ``index``) supplies
-    the per-line retry counts, so the canonical stream matches a
-    materialized :func:`run_recorded` byte for byte.
+    wrapped and consumed incrementally through ``runner.run_stream``
+    (*window* jobs in flight at most; ``None`` for the runner's
+    default), so neither the job list nor the result list is ever
+    materialized.  The runner's cumulative ``job_retries`` (indexed by
+    global submission order, exactly like each result's ``index``)
+    supplies the per-line retry counts, so the canonical stream matches
+    a materialized :func:`run_recorded` byte for byte.
     """
     def _wrapped():
         for i, job in enumerate(jobs):
             yield TelemetryJob(job=job, index=i)
 
-    for res in runner.run_stream(_wrapped()):
+    for res in runner.run_stream(_wrapped(), window=window):
         retries = getattr(runner, "job_retries", None)
         count = (
             retries[res.index]
@@ -257,6 +289,7 @@ def run_recorded_stream(
         )
         writer.record([res], retries=[count])
         yield res.value
+    writer.record_workers(runner_worker_stats(runner))
 
 
 # ----------------------------------------------------------------------
@@ -288,17 +321,32 @@ def telemetry_errors(path: str | Path) -> list[str]:
     except (ValueError, json.JSONDecodeError) as exc:
         return [str(exc)]
     errors: list[str] = []
-    header, jobs = records[0], records[1:]
+    header, body = records[0], records[1:]
+    jobs = [rec for rec in body if rec.get("kind") == "job"]
     declared = header.get("runs")
     if not isinstance(declared, int):
         errors.append("header: runs missing or not an int")
     elif declared != len(jobs):
         errors.append(f"header declares {declared} runs, file has {len(jobs)}")
-    seen: set[int] = set()
-    for i, rec in enumerate(jobs, start=2):
-        where = f"line {i}"
-        if rec.get("kind") != "job":
+    line_no = {id(rec): i for i, rec in enumerate(body, start=2)}
+    for rec in body:
+        if rec.get("kind") == "job":
+            continue
+        where = f"line {line_no[id(rec)]}"
+        if rec.get("kind") != "worker":
             errors.append(f"{where}: kind != 'job'")
+            continue
+        # Worker lines: transport telemetry from distributed sweeps.
+        if not isinstance(rec.get("worker"), str) or not rec.get("worker"):
+            errors.append(f"{where}: worker line missing worker address")
+        for field_ in ("chunks", "jobs", "bytes_out", "bytes_in"):
+            if not isinstance(rec.get(field_), int):
+                errors.append(
+                    f"{where}: worker {field_} missing or not an int"
+                )
+    seen: set[int] = set()
+    for rec in jobs:
+        where = f"line {line_no[id(rec)]}"
         idx = rec.get("index")
         if not isinstance(idx, int):
             errors.append(f"{where}: index missing or not an int")
@@ -328,6 +376,12 @@ def canonical_lines(path: str | Path) -> list[str]:
     """
     lines = []
     for rec in read_telemetry(path):
+        if rec.get("kind") == "worker":
+            # Transport telemetry is placement-dependent through and
+            # through (addresses, rtt, byte counts): the whole line is
+            # volatile.  A serial run of the same sweep has no worker
+            # lines, so canonical identity requires dropping them.
+            continue
         kept = {k: v for k, v in rec.items() if k not in VOLATILE_KEYS}
         lines.append(json.dumps(kept, sort_keys=True, separators=(",", ":")))
     return sorted(lines)
@@ -354,6 +408,9 @@ class TelemetrySummary:
     workers: dict[int, dict[str, float]]  # pid -> {jobs, busy_s}
     cache: dict[str, int]  # hit/miss/uncached counts
     retries: int
+    #: Transport rows from distributed sweeps (one per worker address);
+    #: empty for serial/pooled streams.
+    remote: list[dict[str, Any]] = dataclasses.field(default_factory=list)
 
     def format(self) -> str:
         lines = [f"telemetry: {self.kind} sweep, {self.runs} job(s)"]
@@ -391,6 +448,20 @@ class TelemetrySummary:
         else:
             lines.append("cache: off")
         lines.append(f"chunk retries: {self.retries}")
+        if self.remote:
+            lines.append(f"remote workers: {len(self.remote)}")
+            for s in self.remote:
+                ratio = s.get("compression")
+                lines.append(
+                    f"  {s.get('worker', '?')}: "
+                    f"{int(s.get('chunks', 0))} chunk(s), "
+                    f"{int(s.get('jobs', 0))} job(s), "
+                    f"rtt {float(s.get('rtt_s', 0.0)) * 1e3:.2f}ms, "
+                    f"{int(s.get('bytes_out', 0)) + int(s.get('bytes_in', 0))}B "
+                    f"on the wire"
+                    + (f" ({ratio}x compressed)" if ratio else "")
+                    + f", cache_hits={int(s.get('cache_hits', 0))}"
+                )
         return "\n".join(lines)
 
 
@@ -398,7 +469,13 @@ def summarize(
     records: list[dict[str, Any]], *, top: int = 5
 ) -> TelemetrySummary:
     """Aggregate parsed telemetry records into a :class:`TelemetrySummary`."""
-    header, jobs = records[0], records[1:]
+    header, body = records[0], records[1:]
+    jobs = [rec for rec in body if rec.get("kind") == "job"]
+    remote = [
+        {k: v for k, v in rec.items() if k != "kind"}
+        for rec in body
+        if rec.get("kind") == "worker"
+    ]
     outcomes: dict[str, int] = {}
     cache = {"hit": 0, "miss": 0, "uncached": 0}
     workers: dict[int, dict[str, float]] = {}
@@ -436,4 +513,5 @@ def summarize(
         workers=workers,
         cache=cache,
         retries=retries,
+        remote=remote,
     )

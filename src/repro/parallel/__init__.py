@@ -13,6 +13,13 @@ Layers:
   :class:`SerialRunner`, :class:`ProcessPoolRunner` (chunked scheduling,
   per-job timeout, bounded retries for wedged workers),
   :func:`make_runner`.
+* :mod:`~repro.parallel.transport` — the transport seam: the generic
+  scheduling loop delegates chunk execution to a pluggable
+  :class:`Transport` (local process pool, socket fleet).
+* :mod:`~repro.parallel.remote` — the distributed backend:
+  :class:`WorkerServer` (``repro worker serve``) and
+  :class:`RemoteRunner` over length-prefixed compressed-pickle frames,
+  with worker-side cache lookups and heartbeat liveness.
 * :mod:`~repro.parallel.jobs` — the picklable job model
   (:class:`SimJob`, invariant specs) that lets scenario descriptions
   cross a process boundary.
@@ -30,14 +37,22 @@ from .jobs import (
     check_invariants,
     resolve_invariants,
 )
+from .remote import (
+    RemoteRunner,
+    RemoteTransport,
+    WorkerServer,
+    parse_worker_addrs,
+)
 from .runner import (
     ProcessPoolRunner,
     SerialRunner,
     SweepError,
     SweepJob,
     SweepRunner,
+    TransportRunner,
     make_runner,
 )
+from .transport import LocalPoolTransport, Transport
 from .scenarios import (
     AppScenario,
     GenericInvariants,
@@ -49,7 +64,10 @@ __all__ = [
     "AppScenario",
     "GenericInvariants",
     "Invariant",
+    "LocalPoolTransport",
     "ProcessPoolRunner",
+    "RemoteRunner",
+    "RemoteTransport",
     "RingScenario",
     "ScenarioFactory",
     "SerialRunner",
@@ -58,7 +76,11 @@ __all__ = [
     "SweepError",
     "SweepJob",
     "SweepRunner",
+    "Transport",
+    "TransportRunner",
+    "WorkerServer",
     "check_invariants",
     "make_runner",
+    "parse_worker_addrs",
     "resolve_invariants",
 ]

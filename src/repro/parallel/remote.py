@@ -1,0 +1,780 @@
+"""Socket worker fleet: the distributed backend of the transport seam.
+
+``repro worker serve --bind HOST:PORT`` starts a :class:`WorkerServer`
+(stdlib :mod:`socketserver`, no new dependencies) that executes the
+same picklable :data:`~repro.parallel.runner.SweepJob` chunks the
+process pool runs.  :class:`RemoteRunner` drives a fleet of them
+through :class:`RemoteTransport`, reusing the generic
+:class:`~repro.parallel.runner.TransportRunner` scheduling loop — so
+chunking, submission-order merge, the cumulative timeout budget, and
+bounded chunk retries behave *identically* to the in-process pool, and
+a distributed sweep's report is byte-identical to a serial one (pinned
+in ``tests/test_remote.py`` and the ``distributed-smoke`` CI job).
+
+Wire protocol (``repro.remote/1``)
+----------------------------------
+
+Every message is one *frame*: an 8-byte big-endian length prefix
+followed by that many bytes of zlib-compressed pickle.  Messages are
+tuples:
+
+* ``("hello", info)`` → ``("hello", {"format", "pid"})`` — sent once
+  per connection; ``info`` carries the protocol format, the parent's
+  determinism env (``REPRO_FIBERS``, ``REPRO_MUTATIONS``, …) which the
+  worker applies before keying or executing anything, and the shared
+  cache location (or ``None``).
+* ``("run", start, jobs)`` → ``("done", start, items)`` — one chunk.
+  Each element of ``items`` describes one job, in order:
+  ``("raw", value)`` for uncacheable jobs, ``("hit", outcome)`` for
+  worker-side cache hits (**no payload crosses the wire**), and
+  ``("miss"|"stale", outcome, key, payload)`` for executed jobs, whose
+  payloads the parent stores (one ``put_many`` per chunk, keeping the
+  one-writer-per-sweep property of ``CachedRunner``).
+  A job that raises yields ``("error", start, exception)`` instead —
+  an application error, re-raised verbatim at the parent.
+* ``("ping",)`` → ``("pong", {"pid", "busy"})`` — liveness, answered
+  even while a chunk is executing (used by the parent's heartbeat and
+  by ``repro worker ping``).
+
+Failure semantics
+-----------------
+
+A connection error or EOF marks that worker dead for the round: its
+in-flight chunk is reported *lost* and flows into the runner's
+existing retry machinery (the retry round reconnects to every address,
+so a recovered worker rejoins automatically).  If no data arrives for
+``heartbeat`` seconds the parent probes each silent worker with an
+ephemeral ping connection; probe failure is a death.  When every
+worker is dead the round is *broken* and all pending chunks are
+retried — exactly the pool's ``BrokenProcessPool`` path.  The repo's
+own fault-tolerance story, applied to its harness.
+
+Security: frames are pickles — a worker executes what it is sent and a
+parent unpickles what it receives.  Bind workers to loopback or a
+trusted network only; there is no authentication layer.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import select
+import socket
+import socketserver
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from .runner import (
+    DEFAULT_STREAM_WINDOW,
+    SweepError,
+    TransportRunner,
+)
+from .transport import Chunk, ChunkEvent, Transport, TransportRound
+
+__all__ = [
+    "REMOTE_FORMAT",
+    "RemoteRunner",
+    "RemoteTransport",
+    "WorkerServer",
+    "parse_worker_addrs",
+    "ping",
+    "serve",
+]
+
+#: Wire protocol identifier, sent in every hello and checked by both ends.
+REMOTE_FORMAT = "repro.remote/1"
+
+#: Determinism-relevant environment propagated parent → worker on hello.
+#: Applied (set *and* unset) before any job key is computed or any job
+#: runs, so a worker keys and executes exactly like its parent.
+ENV_KEYS = ("REPRO_FIBERS", "REPRO_MUTATIONS", "REPRO_CACHE_BACKEND")
+
+_LEN = struct.Struct(">Q")
+#: Refuse absurd frames instead of allocating unbounded buffers.
+_MAX_FRAME = 1 << 31
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def _pack(obj: Any) -> tuple[bytes, int]:
+    """Encode *obj* as a frame; returns ``(frame_bytes, raw_len)``."""
+    raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    wire = zlib.compress(raw, 1)  # speed over ratio: sims dwarf zlib -1
+    return _LEN.pack(len(wire)) + wire, len(raw)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Blocking read of exactly *n* bytes; raises ``ConnectionError`` on EOF."""
+    buf = bytearray()
+    while len(buf) < n:
+        data = sock.recv(min(n - len(buf), 1 << 20))
+        if not data:
+            raise ConnectionError("connection closed mid-frame")
+        buf += data
+    return bytes(buf)
+
+
+def _recv_frame(sock: socket.socket) -> tuple[Any, int, int]:
+    """Blocking frame read; returns ``(obj, wire_len, raw_len)``."""
+    (size,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if size > _MAX_FRAME:
+        raise ConnectionError(f"oversized frame ({size} bytes)")
+    raw = zlib.decompress(_recv_exact(sock, size))
+    return pickle.loads(raw), size, len(raw)
+
+
+class _FrameBuffer:
+    """Incremental frame parser for the parent's select() loop."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self.wire_in = 0  # compressed bytes consumed (complete frames)
+        self.raw_in = 0  # decompressed bytes produced
+
+    def feed(self, data: bytes) -> None:
+        self._buf += data
+
+    def frames(self) -> Iterator[Any]:
+        while True:
+            if len(self._buf) < _LEN.size:
+                return
+            (size,) = _LEN.unpack(self._buf[: _LEN.size])
+            if size > _MAX_FRAME:
+                raise ConnectionError(f"oversized frame ({size} bytes)")
+            if len(self._buf) < _LEN.size + size:
+                return
+            wire = bytes(self._buf[_LEN.size : _LEN.size + size])
+            del self._buf[: _LEN.size + size]
+            raw = zlib.decompress(wire)
+            self.wire_in += _LEN.size + size
+            self.raw_in += len(raw)
+            yield pickle.loads(raw)
+
+
+# -- addresses ---------------------------------------------------------------
+
+
+def parse_worker_addrs(spec: str) -> tuple[tuple[str, int], ...]:
+    """Parse ``"host:port,host:port,..."`` into address tuples.
+
+    Raises :class:`ValueError` with a usable message on malformed input
+    (the CLI uses this as an argparse ``type=`` so errors surface at
+    parse time, not as a traceback from a socket call).
+    """
+    addrs: list[tuple[str, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, port_s = part.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"worker address {part!r} is not HOST:PORT "
+                "(expected e.g. 127.0.0.1:7777)"
+            )
+        try:
+            port = int(port_s)
+        except ValueError:
+            raise ValueError(
+                f"worker address {part!r} has a non-numeric port"
+            ) from None
+        if not 1 <= port <= 65535:
+            raise ValueError(
+                f"worker address {part!r} has an out-of-range port"
+            )
+        addrs.append((host, port))
+    if not addrs:
+        raise ValueError("no worker addresses given")
+    return tuple(addrs)
+
+
+def _addr_str(addr: tuple[str, int]) -> str:
+    return f"{addr[0]}:{addr[1]}"
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _apply_env(env: dict[str, str]) -> None:
+    """Adopt the parent's determinism env: set sent keys, drop absent
+    ones (so a previous client's settings never leak into this sweep)."""
+    for key in ENV_KEYS:
+        if key in env:
+            os.environ[key] = env[key]
+        else:
+            os.environ.pop(key, None)
+
+
+def _execute_chunk(jobs: Sequence[Any], cache: Any) -> list[tuple]:
+    """Run one chunk worker-side, consulting the shared cache first.
+
+    Mirrors ``CachedRunner``'s per-job logic (keys via ``job_key``, one
+    batched ``get_many``, corrupt hit demoted to stale) so a remote
+    cached sweep classifies jobs exactly like a local one.  Hits return
+    outcome only — the stored payload never crosses the wire.
+    """
+    if cache is None:
+        from .transport import run_chunk
+
+        return [("raw", value) for value in run_chunk(jobs)]
+    from ..cache.keys import job_key
+
+    keys = [job_key(job) for job in jobs]
+    cacheable = [i for i, key in enumerate(keys) if key is not None]
+    fetched = dict(
+        zip(cacheable, cache.get_many([keys[i] for i in cacheable]))
+    )
+    items: list[tuple] = []
+    for i, job in enumerate(jobs):
+        key = keys[i]
+        if key is None:
+            items.append(("raw", job()))
+            continue
+        status, payload = fetched[i]
+        if status == "hit":
+            try:
+                outcome = job.from_cached(payload)
+            except Exception:  # noqa: BLE001 - treat as stale entry
+                status = "stale"
+        if status == "hit":
+            items.append(("hit", outcome))
+            continue
+        outcome, payload = job.cache_payload()
+        items.append((status, outcome, key, payload))
+    return items
+
+
+class _WorkerHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # noqa: C901 - one loop, small states
+        sock: socket.socket = self.request
+        server: WorkerServer = self.server  # type: ignore[assignment]
+        cache = None
+        try:
+            while True:
+                try:
+                    msg, _wire, _raw = _recv_frame(sock)
+                except ConnectionError:
+                    return
+                kind = msg[0]
+                if kind == "hello":
+                    info = msg[1]
+                    if info.get("format") != REMOTE_FORMAT:
+                        self._send(
+                            sock,
+                            ("reject", f"format mismatch: {info.get('format')!r} "
+                                       f"!= {REMOTE_FORMAT!r}"),
+                        )
+                        return
+                    with server.env_lock:
+                        _apply_env(info.get("env") or {})
+                    spec = info.get("cache")
+                    if spec is not None:
+                        from ..cache.store import RunCache
+
+                        cache = RunCache(
+                            spec["root"], backend=spec.get("backend")
+                        )
+                    self._send(
+                        sock, ("hello", {"format": REMOTE_FORMAT, "pid": os.getpid()})
+                    )
+                elif kind == "ping":
+                    self._send(
+                        sock,
+                        ("pong", {"pid": os.getpid(),
+                                  "busy": server.exec_lock.locked()}),
+                    )
+                elif kind == "run":
+                    _kind, start, jobs = msg
+                    try:
+                        # One chunk at a time per worker process: sims
+                        # assume they own the process-wide fiber pool,
+                        # and the pool's workers are serialized the
+                        # same way (one chunk per pool process).
+                        with server.exec_lock:
+                            items = _execute_chunk(jobs, cache)
+                    except BaseException as exc:  # noqa: BLE001
+                        # Application error: ship it back verbatim; the
+                        # parent raises it and never retries the chunk.
+                        self._send(sock, ("error", start, exc))
+                        continue
+                    self._send(sock, ("done", start, items))
+                else:
+                    self._send(sock, ("reject", f"unknown message {kind!r}"))
+                    return
+        except OSError:
+            # Parent hung up (possibly mid-send after abandoning the
+            # round): drop the connection, keep serving others.
+            return
+
+    @staticmethod
+    def _send(sock: socket.socket, obj: Any) -> None:
+        frame, _raw = _pack(obj)
+        sock.sendall(frame)
+
+
+class WorkerServer(socketserver.ThreadingTCPServer):
+    """A sweep worker serving ``repro.remote/1`` on a TCP socket.
+
+    One connection handler per client thread, but chunk execution is
+    serialized by :attr:`exec_lock` — a worker process runs one
+    simulation at a time (pings still answer while a chunk runs, which
+    is what makes the parent's heartbeat meaningful).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, bind: tuple[str, int]) -> None:
+        super().__init__(bind, _WorkerHandler)
+        self.exec_lock = threading.Lock()
+        self.env_lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` requests."""
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+
+def serve(bind: tuple[str, int]) -> None:
+    """Run a worker until interrupted (the ``repro worker serve`` body).
+
+    Prints one readiness line to stderr (``[worker] listening on
+    HOST:PORT pid=N``) so wrappers — tests, the ``distributed-smoke``
+    CI job — can scrape the bound port and wait for availability.
+    """
+    import sys
+
+    server = WorkerServer(bind)
+    host, port = server.address
+    # Marker for jobs that need to know they run under `worker serve`
+    # (e.g. the dead-worker recovery test's poison job).
+    os.environ["REPRO_WORKER_SERVE"] = f"{host}:{port}"
+    print(
+        f"[worker] {REMOTE_FORMAT} listening on {host}:{port} pid={os.getpid()}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+def ping(addr: tuple[str, int], timeout: float = 2.0) -> dict[str, Any]:
+    """One liveness round-trip; returns the pong info or raises ``OSError``."""
+    with socket.create_connection(addr, timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        frame, _raw = _pack(("ping",))
+        sock.sendall(frame)
+        reply, _wire, _raw_in = _recv_frame(sock)
+    if reply[0] != "pong":
+        raise OSError(f"unexpected reply from {_addr_str(addr)}: {reply[0]!r}")
+    return reply[1]
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class _WorkerConn:
+    """One round's connection to one worker."""
+
+    def __init__(self, addr: tuple[str, int], sock: socket.socket, pid: int) -> None:
+        self.addr = addr
+        self.sock = sock
+        self.pid = pid
+        self.buffer = _FrameBuffer()
+        self.busy: Chunk | None = None
+        self.sent_at = 0.0
+        self.last_seen = time.monotonic()
+
+    def send(self, obj: Any) -> tuple[int, int]:
+        frame, raw = _pack(obj)
+        self.sock.sendall(frame)
+        return len(frame), raw
+
+
+def _new_stats(addr: tuple[str, int]) -> dict[str, Any]:
+    return {
+        "worker": _addr_str(addr),
+        "pid": None,
+        "chunks": 0,
+        "jobs": 0,
+        "rtt_s": 0.0,
+        "bytes_out": 0,
+        "bytes_in": 0,
+        "raw_out": 0,
+        "raw_in": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "cache_stale": 0,
+        "disconnects": 0,
+    }
+
+
+class RemoteTransport(Transport):
+    """Drive a fleet of :class:`WorkerServer` addresses.
+
+    Persistent across scheduling rounds: per-worker statistics (chunks,
+    rtt, bytes shipped, compression, worker-side cache hits) accumulate
+    here and feed the telemetry stream.  Each round opens fresh
+    connections — a worker that died simply fails to join the retry
+    round, and one that recovered rejoins automatically.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[tuple[str, int]],
+        *,
+        cache: Any = None,
+        connect_timeout: float = 5.0,
+        heartbeat: float = 2.0,
+    ) -> None:
+        if not addresses:
+            raise ValueError("at least one worker address is required")
+        self.addresses = tuple(addresses)
+        self.cache = cache
+        self.connect_timeout = connect_timeout
+        self.heartbeat = heartbeat
+        self.stats: dict[str, dict[str, Any]] = {
+            _addr_str(a): _new_stats(a) for a in self.addresses
+        }
+
+    def parallelism(self) -> int:
+        return len(self.addresses)
+
+    def _hello_info(self) -> dict[str, Any]:
+        env = {k: os.environ[k] for k in ENV_KEYS if k in os.environ}
+        spec = None
+        if self.cache is not None:
+            spec = {"root": str(self.cache.root), "backend": self.cache.backend}
+        return {"format": REMOTE_FORMAT, "env": env, "cache": spec}
+
+    def open_round(self) -> "RemoteRound":
+        return RemoteRound(self)
+
+    def worker_stats(self) -> list[dict[str, Any]]:
+        """Per-worker telemetry rows (with derived compression ratio)."""
+        rows = []
+        for addr in self.addresses:
+            s = dict(self.stats[_addr_str(addr)])
+            wire = s["bytes_out"] + s["bytes_in"]
+            raw = s["raw_out"] + s["raw_in"]
+            s["compression"] = round(raw / wire, 3) if wire else None
+            rows.append(s)
+        return rows
+
+
+class RemoteRound(TransportRound):
+    def __init__(self, transport: RemoteTransport) -> None:
+        self.transport = transport
+        self.broken = False
+        self.conns: list[_WorkerConn] = []
+        self.queue: list[Chunk] = []
+        hello = transport._hello_info()
+        for addr in transport.addresses:
+            stats = transport.stats[_addr_str(addr)]
+            try:
+                sock = socket.create_connection(
+                    addr, timeout=transport.connect_timeout
+                )
+                sock.settimeout(transport.connect_timeout)
+                frame, raw = _pack(("hello", hello))
+                sock.sendall(frame)
+                reply, wire_in, raw_in = _recv_frame(sock)
+            except OSError:
+                stats["disconnects"] += 1
+                continue
+            if reply[0] != "hello":
+                sock.close()
+                raise SweepError(
+                    f"worker {_addr_str(addr)} rejected the handshake: {reply!r}"
+                )
+            sock.settimeout(None)
+            stats["pid"] = reply[1].get("pid")
+            stats["bytes_out"] += len(frame)
+            stats["raw_out"] += raw
+            stats["bytes_in"] += wire_in
+            stats["raw_in"] += raw_in
+            self.conns.append(_WorkerConn(addr, sock, reply[1].get("pid")))
+        if not self.conns:
+            raise SweepError(
+                "no reachable workers among "
+                + ", ".join(_addr_str(a) for a in transport.addresses)
+            )
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, start: int, jobs: list) -> None:
+        self.queue.append((start, jobs))
+        self._pump()
+
+    def _pump(self) -> None:
+        """Ship queued chunks to idle workers."""
+        for conn in list(self.conns):
+            if not self.queue:
+                return
+            if conn.busy is not None:
+                continue
+            start, part = self.queue[0]
+            stats = self.transport.stats[_addr_str(conn.addr)]
+            try:
+                sent, raw = conn.send(("run", start, part))
+            except OSError:
+                self._drop(conn)
+                continue
+            self.queue.pop(0)
+            conn.busy = (start, part)
+            conn.sent_at = time.monotonic()
+            stats["bytes_out"] += sent
+            stats["raw_out"] += raw
+
+    def pending(self) -> list[Chunk]:
+        return list(self.queue) + [
+            c.busy for c in self.conns if c.busy is not None
+        ]
+
+    # -- completion --------------------------------------------------------
+
+    def wait(self, timeout: float | None) -> list[ChunkEvent]:
+        self._pump()
+        events: list[ChunkEvent] = []
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not events:
+            busy = [c for c in self.conns if c.busy is not None]
+            if not busy:
+                break
+            wait_s = self.transport.heartbeat
+            if deadline is not None:
+                wait_s = min(wait_s, max(0.0, deadline - time.monotonic()))
+            readable, _w, _x = select.select([c.sock for c in busy], [], [], wait_s)
+            if readable:
+                by_sock = {c.sock: c for c in busy}
+                for sock in readable:
+                    events.extend(self._drain(by_sock[sock]))
+                self._pump()  # freed workers pick up queued chunks
+            else:
+                now = time.monotonic()
+                for conn in busy:
+                    if (
+                        now - conn.last_seen > self.transport.heartbeat
+                        and not self._alive(conn.addr)
+                    ):
+                        event = self._drop(conn)
+                        if event is not None:
+                            events.append(event)
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+        return events
+
+    def _drain(self, conn: _WorkerConn) -> list[ChunkEvent]:
+        try:
+            data = conn.sock.recv(1 << 20)
+        except OSError:
+            data = b""
+        if not data:
+            event = self._drop(conn)
+            return [event] if event is not None else []
+        conn.last_seen = time.monotonic()
+        conn.buffer.feed(data)
+        stats = self.transport.stats[_addr_str(conn.addr)]
+        events: list[ChunkEvent] = []
+        wire_before, raw_before = conn.buffer.wire_in, conn.buffer.raw_in
+        try:
+            for msg in conn.buffer.frames():
+                events.extend(self._on_message(conn, msg))
+        finally:
+            stats["bytes_in"] += conn.buffer.wire_in - wire_before
+            stats["raw_in"] += conn.buffer.raw_in - raw_before
+        return events
+
+    def _on_message(self, conn: _WorkerConn, msg: tuple) -> list[ChunkEvent]:
+        kind = msg[0]
+        stats = self.transport.stats[_addr_str(conn.addr)]
+        if kind == "done":
+            _kind, start, items = msg
+            if conn.busy is None or conn.busy[0] != start:
+                return []  # stray reply (e.g. after a requeue); ignore
+            start, part = conn.busy
+            conn.busy = None
+            stats["chunks"] += 1
+            stats["jobs"] += len(part)
+            stats["rtt_s"] += time.monotonic() - conn.sent_at
+            values = self._merge_items(part, items, stats)
+            return [(start, part, values)]
+        if kind == "error":
+            _kind, start, exc = msg
+            conn.busy = None
+            # Application error: deterministic, never retried — exactly
+            # the pool's behaviour.  The runner abandons the round.
+            raise exc
+        if kind == "reject":
+            raise SweepError(
+                f"worker {_addr_str(conn.addr)} rejected the session: {msg[1]}"
+            )
+        return []
+
+    def _merge_items(
+        self, part: list, items: list[tuple], stats: dict[str, Any]
+    ) -> list[Any]:
+        """Unpack one chunk's item list into in-order values; store the
+        cache-miss payloads (one batched ``put_many`` per chunk) and
+        keep the parent-side ``perf.CACHE`` counters exact."""
+        from .. import perf
+
+        cache = self.transport.cache
+        values: list[Any] = []
+        stores: list[tuple[str, dict[str, Any], Any]] = []
+        for i, item in enumerate(items):
+            tag = item[0]
+            if tag == "raw":
+                values.append(item[1])
+            elif tag == "hit":
+                perf.CACHE.hits += 1
+                stats["cache_hits"] += 1
+                values.append(item[1])
+            else:  # "miss" | "stale": executed worker-side
+                _tag, outcome, key, payload = item
+                if tag == "stale":
+                    perf.CACHE.stale += 1
+                    stats["cache_stale"] += 1
+                else:
+                    perf.CACHE.misses += 1
+                    stats["cache_misses"] += 1
+                values.append(outcome)
+                stores.append((key, payload, part[i]))
+        if stores and cache is not None:
+            cache.put_many(stores)
+            perf.CACHE.stores += len(stores)
+        return values
+
+    # -- liveness ----------------------------------------------------------
+
+    def _alive(self, addr: tuple[str, int]) -> bool:
+        try:
+            ping(addr, timeout=min(self.transport.heartbeat, 2.0))
+            return True
+        except OSError:
+            return False
+
+    def _drop(self, conn: _WorkerConn) -> ChunkEvent | None:
+        """Declare *conn*'s worker dead; surface its in-flight chunk as
+        lost (the runner's retry machinery re-dispatches it)."""
+        self.transport.stats[_addr_str(conn.addr)]["disconnects"] += 1
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        if conn in self.conns:
+            self.conns.remove(conn)
+        chunk, conn.busy = conn.busy, None
+        if not self.conns and (self.queue or chunk is not None):
+            self.broken = True
+        if chunk is None:
+            return None
+        start, part = chunk
+        return (start, part, None)
+
+    # -- teardown ----------------------------------------------------------
+
+    def abandon(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        self.conns = []
+        self.queue = []
+
+    def close(self) -> None:
+        self.abandon()
+
+
+@dataclass
+class RemoteRunner(TransportRunner):
+    """Fan jobs out across a socket worker fleet.
+
+    Parameters
+    ----------
+    addresses:
+        Worker addresses — a ``"host:port,host:port"`` string or a
+        sequence of ``(host, port)`` tuples.  One chunk executes per
+        worker at a time (workers serialize execution internally).
+    chunk_size:
+        Jobs per frame.  ``None`` auto-chunks to roughly four chunks
+        per worker, capped so one frame never carries more than a
+        stream window's share of jobs (frames stay bounded even for
+        huge materialized runs).
+    timeout / retries:
+        Exactly the pool's contract (see
+        :class:`~repro.parallel.runner.ProcessPoolRunner`): cumulative
+        per-round budget, chunk-level retries, application errors never
+        retried.  A chunk lost to a dead worker consumes one retry.
+    connect_timeout / heartbeat:
+        Socket connect budget, and how long a worker may stay silent
+        before the parent probes it with a ping.
+    """
+
+    addresses: Sequence[tuple[str, int]] | str = ()
+    chunk_size: int | None = None
+    timeout: float | None = None
+    retries: int = 1
+    connect_timeout: float = 5.0
+    heartbeat: float = 2.0
+    cache: Any = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.addresses, str):
+            self.addresses = parse_worker_addrs(self.addresses)
+        self.addresses = tuple(self.addresses)
+        if not self.addresses:
+            raise ValueError("at least one worker address is required")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.job_retries = []
+        self._remote = RemoteTransport(
+            self.addresses,
+            cache=self.cache,
+            connect_timeout=self.connect_timeout,
+            heartbeat=self.heartbeat,
+        )
+
+    def _transport(self) -> RemoteTransport:
+        return self._remote
+
+    def _auto_chunk(self, n_jobs: int, width: int) -> int:
+        # Four chunks per worker like the pool, but capped at a stream
+        # window's share so one frame never ships an unbounded slice of
+        # a huge materialized run.
+        cap = max(1, math.ceil(DEFAULT_STREAM_WINDOW / (width * 4)))
+        return max(1, min(math.ceil(n_jobs / (width * 4)), cap))
+
+    def attach_cache(self, cache: Any) -> None:
+        """Enable worker-side cache lookups against *cache* (a
+        :class:`~repro.cache.RunCache` or anything ``RunCache.at``
+        accepts).  Unlike wrapping in ``CachedRunner``, lookups happen
+        *in the workers*: warm entries never cross the wire."""
+        from ..cache.store import RunCache
+
+        self.cache = RunCache.at(cache)
+        self._remote.cache = self.cache
+
+    def worker_stats(self) -> list[dict[str, Any]]:
+        """Per-worker transport telemetry accumulated across rounds."""
+        return self._remote.worker_stats()
+
+    def _stream_window(self) -> int:
+        workers = len(self.addresses)
+        if self.chunk_size is not None:
+            return max(DEFAULT_STREAM_WINDOW, self.chunk_size * workers * 4)
+        return max(DEFAULT_STREAM_WINDOW, workers * 128)

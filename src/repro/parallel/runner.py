@@ -8,7 +8,7 @@ is a drop-in replacement for a serial loop: because every job is an
 independent deterministic simulation, the merged result list is
 bit-identical to what the serial loop would have produced.
 
-Two implementations share the interface:
+Three implementations share the interface:
 
 * :class:`SerialRunner` — runs the jobs in-process, in order.  Zero
   overhead, no picklability requirement; the reference semantics.
@@ -17,6 +17,12 @@ Two implementations share the interface:
   a per-job wall-clock timeout, and bounded retries for wedged or
   crashed workers.  Jobs (and their results) must be picklable:
   module-level functions or dataclass instances, not bare closures.
+* :class:`repro.parallel.remote.RemoteRunner` — the same scheduling
+  loop over a fleet of socket workers (``repro worker serve``).
+
+The pooled and remote runners share :class:`TransportRunner`, which
+owns the scheduling loop and delegates chunk execution to a pluggable
+:class:`repro.parallel.transport.Transport`.
 
 Timeout/retry semantics (documented contract, tested in
 ``tests/test_parallel.py``):
@@ -39,11 +45,11 @@ from __future__ import annotations
 
 import math
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from itertools import islice
 from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from .transport import LocalPoolTransport, Transport, run_chunk
 
 #: A sweep job: picklable, zero-argument, returns a picklable result.
 SweepJob = Callable[[], Any]
@@ -164,13 +170,131 @@ class SerialRunner(SweepRunner):
             yield result
 
 
-def _run_chunk(jobs: Sequence[SweepJob]) -> list[Any]:
-    """Worker-side entry point: execute one chunk of jobs in order."""
-    return [job() for job in jobs]
+# Back-compat alias: the worker-side chunk entry point moved to the
+# transport seam (it is shared by the pool and the socket workers).
+_run_chunk = run_chunk
+
+
+class TransportRunner(SweepRunner):
+    """The generic chunked scheduling loop over a pluggable transport.
+
+    Subclasses provide ``chunk_size`` / ``timeout`` / ``retries``
+    attributes and a :meth:`_transport` factory; this class owns the
+    semantics documented in the module docstring — chunking, the
+    cumulative timeout budget, bounded chunk retries with deterministic
+    attribution, immediate propagation of application errors — so every
+    transport (in-process pool, socket fleet) behaves identically to
+    the pinned :class:`ProcessPoolRunner` contract.
+    """
+
+    chunk_size: int | None
+    timeout: float | None
+    retries: int
+
+    def _transport(self) -> Transport:  # pragma: no cover
+        raise NotImplementedError
+
+    def _auto_chunk(self, n_jobs: int, width: int) -> int:
+        """Default chunk size: roughly four chunks per worker, balancing
+        dispatch overhead against load balance (transports may cap it)."""
+        return max(1, math.ceil(n_jobs / (width * 4)))
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[Any]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        transport = self._transport()
+        width = max(1, transport.parallelism())
+        chunk = self.chunk_size or self._auto_chunk(len(jobs), width)
+        #: (start_index, jobs_slice) descriptors; a chunk is the retry unit.
+        chunks = [
+            (i, jobs[i : i + chunk]) for i in range(0, len(jobs), chunk)
+        ]
+        results: list[Any] = [_UNSET] * len(jobs)
+        attempts = {start: 0 for start, _ in chunks}
+        pending = chunks
+        while pending:
+            # Sort by start index: _run_round collects failures in
+            # completion order (effectively arbitrary), and both the
+            # retry submissions and the exhausted-chunk raise below must
+            # not depend on that order for attribution to be
+            # deterministic.
+            pending = sorted(self._run_round(transport, width, pending, results))
+            for start, part in pending:
+                attempts[start] += 1
+                if attempts[start] > self.retries:
+                    indices = [
+                        start + k
+                        for k in range(len(part))
+                        if results[start + k] is _UNSET
+                    ]
+                    raise SweepError(
+                        f"{len(indices)} job(s) did not complete after "
+                        f"{self.retries} retr{'y' if self.retries == 1 else 'ies'} "
+                        f"(indices {indices}); a deterministic job that "
+                        f"exceeds its timeout will do so on every attempt",
+                        indices=indices,
+                    )
+        self.job_retries = [0] * len(jobs)
+        for start, part in chunks:
+            for k in range(len(part)):
+                self.job_retries[start + k] = attempts[start]
+        return results
+
+    def _run_round(
+        self,
+        transport: Transport,
+        width: int,
+        chunks: list[tuple[int, list[SweepJob]]],
+        results: list[Any],
+    ) -> list[tuple[int, list[SweepJob]]]:
+        """Submit *chunks* on a fresh round; fill *results*; return the
+        chunks that must be retried (timed out or lost in transit)."""
+        round_ = transport.open_round()
+        try:
+            for start, part in chunks:
+                round_.submit(start, part)
+            deadline_at = None
+            if self.timeout is not None:
+                total = sum(len(part) for _s, part in chunks)
+                # Cumulative budget: jobs run `width` at a time, so the
+                # round as a whole gets ceil(total/width) job-budgets
+                # (plus one for scheduling slack).
+                budget = self.timeout * (math.ceil(total / width) + 1)
+                deadline_at = time.monotonic() + budget
+            failed: list[tuple[int, list[SweepJob]]] = []
+            while round_.pending():
+                remaining = None
+                if deadline_at is not None:
+                    remaining = deadline_at - time.monotonic()
+                    if remaining <= 0:  # budget exhausted, jobs still running
+                        failed.extend(round_.pending())
+                        round_.abandon()
+                        return failed
+                for start, part, values in round_.wait(remaining):
+                    if values is None:
+                        failed.append((start, part))
+                    else:
+                        for k, value in enumerate(values):
+                            results[start + k] = value
+                if round_.broken:
+                    # No capacity left; everything unfinished is lost.
+                    failed.extend(round_.pending())
+                    round_.abandon()
+                    return failed
+            round_.close()
+            return failed
+        except BaseException:
+            # Application errors and interrupts alike: terminate wedged
+            # workers instead of awaiting them, then propagate.
+            round_.abandon()
+            raise
 
 
 @dataclass
-class ProcessPoolRunner(SweepRunner):
+class ProcessPoolRunner(TransportRunner):
     """Fan jobs out across worker processes.
 
     Parameters
@@ -217,133 +341,10 @@ class ProcessPoolRunner(SweepRunner):
             return max(DEFAULT_STREAM_WINDOW, self.chunk_size * self.workers * 4)
         return max(DEFAULT_STREAM_WINDOW, self.workers * 128)
 
-    # -- pool plumbing -----------------------------------------------------
+    # -- transport ---------------------------------------------------------
 
-    def _context(self):
-        import multiprocessing as mp
-
-        if self.mp_context is not None:
-            return mp.get_context(self.mp_context)
-        if "fork" in mp.get_all_start_methods():
-            return mp.get_context("fork")
-        return mp.get_context()
-
-    @staticmethod
-    def _kill_pool(executor: ProcessPoolExecutor) -> None:
-        """Abandon a pool that may contain wedged workers.
-
-        ``shutdown(wait=True)`` would block behind the wedged job, so the
-        worker processes are terminated outright and the executor is told
-        not to wait for them.
-        """
-        processes = getattr(executor, "_processes", None) or {}
-        for proc in list(processes.values()):
-            proc.terminate()
-        executor.shutdown(wait=False, cancel_futures=True)
-
-    # -- scheduling --------------------------------------------------------
-
-    def run(self, jobs: Sequence[SweepJob]) -> list[Any]:
-        jobs = list(jobs)
-        if not jobs:
-            return []
-        chunk = self.chunk_size or max(
-            1, math.ceil(len(jobs) / (self.workers * 4))
-        )
-        #: (start_index, jobs_slice) descriptors; a chunk is the retry unit.
-        chunks = [
-            (i, jobs[i : i + chunk]) for i in range(0, len(jobs), chunk)
-        ]
-        results: list[Any] = [_UNSET] * len(jobs)
-        attempts = {start: 0 for start, _ in chunks}
-        pending = chunks
-        while pending:
-            # Sort by start index: _run_round collects failures in future
-            # completion order (a set walk — effectively arbitrary), and
-            # both the retry submissions and the exhausted-chunk raise
-            # below must not depend on that order for attribution to be
-            # deterministic.
-            pending = sorted(self._run_round(pending, results))
-            for start, part in pending:
-                attempts[start] += 1
-                if attempts[start] > self.retries:
-                    indices = [
-                        start + k
-                        for k in range(len(part))
-                        if results[start + k] is _UNSET
-                    ]
-                    raise SweepError(
-                        f"{len(indices)} job(s) did not complete after "
-                        f"{self.retries} retr{'y' if self.retries == 1 else 'ies'} "
-                        f"(indices {indices}); a deterministic job that "
-                        f"exceeds its timeout will do so on every attempt",
-                        indices=indices,
-                    )
-        self.job_retries = [0] * len(jobs)
-        for start, part in chunks:
-            for k in range(len(part)):
-                self.job_retries[start + k] = attempts[start]
-        return results
-
-    def _run_round(
-        self,
-        chunks: list[tuple[int, list[SweepJob]]],
-        results: list[Any],
-    ) -> list[tuple[int, list[SweepJob]]]:
-        """Submit *chunks* on a fresh pool; fill *results*; return the
-        chunks that must be retried (timed out or lost to a broken pool)."""
-        executor = ProcessPoolExecutor(
-            max_workers=self.workers, mp_context=self._context()
-        )
-        futures: dict[Future, tuple[int, list[SweepJob]]] = {}
-        try:
-            for start, part in chunks:
-                futures[executor.submit(_run_chunk, part)] = (start, part)
-            deadline_at = None
-            if self.timeout is not None:
-                total = sum(len(part) for _s, part in chunks)
-                # Cumulative budget: jobs run `workers` at a time, so the
-                # round as a whole gets ceil(total/workers) job-budgets
-                # (plus one for scheduling slack).
-                budget = self.timeout * (math.ceil(total / self.workers) + 1)
-                deadline_at = time.monotonic() + budget
-            failed: list[tuple[int, list[SweepJob]]] = []
-            broken = False
-            not_done = set(futures)
-            while not_done:
-                remaining = None
-                if deadline_at is not None:
-                    remaining = deadline_at - time.monotonic()
-                    if remaining <= 0:  # budget exhausted, jobs still running
-                        failed.extend(futures[f] for f in not_done)
-                        self._kill_pool(executor)
-                        return failed
-                done, not_done = wait(
-                    not_done, timeout=remaining, return_when=FIRST_COMPLETED
-                )
-                for fut in done:
-                    start, part = futures[fut]
-                    exc = fut.exception()
-                    if exc is None:
-                        for k, value in enumerate(fut.result()):
-                            results[start + k] = value
-                    elif isinstance(exc, BrokenProcessPool):
-                        failed.append((start, part))
-                        broken = True
-                    else:
-                        # Application error: deterministic, never retried.
-                        self._kill_pool(executor)
-                        raise exc
-                if broken:
-                    # The pool is dead; everything unfinished is lost.
-                    failed.extend(futures[f] for f in not_done)
-                    self._kill_pool(executor)
-                    return failed
-            executor.shutdown(wait=True)
-            return failed
-        except BaseException:
-            self._kill_pool(executor)
-            raise
+    def _transport(self) -> Transport:
+        return LocalPoolTransport(workers=self.workers, mp_context=self.mp_context)
 
 
 def make_runner(
@@ -354,13 +355,17 @@ def make_runner(
     retries: int = 1,
     mp_context: str | None = None,
     cache: Any = None,
+    addresses: Any = None,
 ) -> SweepRunner:
     """Build the right runner for a worker count.
 
     ``workers`` of ``None``, ``0`` or ``1`` gives the in-process
     :class:`SerialRunner`; anything larger gives a
     :class:`ProcessPoolRunner`.  (Construct :class:`ProcessPoolRunner`
-    directly to force a single-worker pool.)
+    directly to force a single-worker pool.)  ``addresses`` (a
+    ``"host:port,..."`` string or ``(host, port)`` tuples) selects the
+    distributed :class:`~repro.parallel.remote.RemoteRunner` instead —
+    ``workers`` is ignored; parallelism is the fleet size.
 
     ``cache`` (``True`` for the default directory, a path, or a
     ``repro.cache.RunCache``) wraps either runner in a
@@ -369,9 +374,23 @@ def make_runner(
     content-addressed store, everything else executes as usual.  Serial
     and pooled runners share the same store and the same
     submission-order merge, so a cached sweep's report is byte-identical
-    to an uncached one.
+    to an uncached one.  The remote runner instead performs lookups
+    *worker-side* (see ``RemoteRunner.attach_cache``) — same store,
+    same counters, but warm entries never cross the wire.
     """
     runner: SweepRunner
+    if addresses:
+        from .remote import RemoteRunner
+
+        runner = RemoteRunner(
+            addresses=addresses,
+            chunk_size=chunk_size,
+            timeout=timeout,
+            retries=retries,
+        )
+        if cache is not None and cache is not False:
+            runner.attach_cache(cache)
+        return runner
     if workers is None or workers <= 1:
         runner = SerialRunner()
     else:

@@ -1,0 +1,201 @@
+"""Transport seam: how a sweep runner ships chunks to its workers.
+
+:class:`~repro.parallel.runner.TransportRunner` owns everything that
+makes a sweep *correct* — chunked scheduling, submission-order merge,
+the cumulative timeout budget, bounded retries with deterministic
+attribution — and delegates everything that makes it *go* to a
+:class:`Transport`:
+
+* :class:`LocalPoolTransport` — the original in-process
+  ``concurrent.futures.ProcessPoolExecutor`` backend, refactored onto
+  the seam unchanged (``ProcessPoolRunner`` is pinned byte-identical to
+  the serial runner by ``tests/test_parallel.py``).
+* :class:`repro.parallel.remote.RemoteTransport` — a socket worker
+  fleet speaking length-prefixed compressed-pickle frames, with
+  worker-side cache lookups and heartbeat liveness.
+
+The retry unit is the *chunk*: a transport reports a chunk either as
+completed (with its in-order results), as *lost* (an infrastructure
+failure — worker process died, socket closed, pool broke), or raises
+the job's own exception (an application error, which the runner never
+retries).  Lost chunks flow back into the runner's existing
+retry/attribution machinery, so a dead socket worker is handled by the
+very same code path as a worker process killed by the OS.
+
+A :class:`Transport` is persistent across scheduling rounds (it may
+accumulate per-worker statistics); each round opens a fresh
+:class:`TransportRound`, mirroring the original design of building a
+fresh pool per round so that wedged workers from a previous attempt
+cannot poison the retry.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+#: A sweep job as the transport sees it (re-declared here to avoid a
+#: circular import with :mod:`repro.parallel.runner`).
+SweepJob = Callable[[], Any]
+
+#: A chunk descriptor: ``(start_index, jobs_slice)``.
+Chunk = tuple[int, list]
+
+#: A completion event: ``(start_index, jobs_slice, values_or_None)``.
+#: ``values`` is the chunk's in-order result list, or ``None`` if the
+#: chunk was lost to an infrastructure failure and must be retried.
+ChunkEvent = tuple[int, list, "list | None"]
+
+
+def run_chunk(jobs: Sequence[SweepJob]) -> list[Any]:
+    """Worker-side entry point: execute one chunk of jobs in order.
+
+    Shared by every transport — the pool submits it as the task
+    callable, the socket worker calls it on received chunks.
+    """
+    return [job() for job in jobs]
+
+
+class TransportRound:
+    """One scheduling round: a batch of chunks in flight on fresh workers.
+
+    Lifecycle: ``submit()`` every chunk, then loop ``wait()`` while
+    ``pending()`` is non-empty, then ``close()``.  ``abandon()`` at any
+    point tears the round down without waiting for wedged workers.
+    """
+
+    #: Set when the round has lost all execution capacity (broken pool,
+    #: every socket worker dead): the caller must treat every still
+    #: pending chunk as lost and abandon the round.
+    broken: bool = False
+
+    def submit(self, start: int, jobs: list) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def pending(self) -> list[Chunk]:  # pragma: no cover
+        """Chunks submitted but not yet reported by :meth:`wait`."""
+        raise NotImplementedError
+
+    def wait(self, timeout: float | None) -> list[ChunkEvent]:
+        """Block up to *timeout* seconds (``None``: forever) for progress.
+
+        Returns the completion events since the last call — possibly
+        empty on timeout.  A job that raised propagates its exception
+        from here: application errors are deterministic and must reach
+        the caller immediately, never the retry path.
+        """
+        raise NotImplementedError  # pragma: no cover
+
+    def abandon(self) -> None:  # pragma: no cover
+        """Tear down without waiting (terminates wedged workers)."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover
+        """Graceful shutdown after every chunk completed."""
+        raise NotImplementedError
+
+
+class Transport:
+    """Factory for scheduling rounds against some worker substrate."""
+
+    def parallelism(self) -> int:  # pragma: no cover
+        """How many chunks can execute concurrently (drives the
+        auto-chunking formula and the cumulative timeout budget)."""
+        raise NotImplementedError
+
+    def open_round(self) -> TransportRound:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any persistent resources (default: none)."""
+
+
+# -- local process pool ------------------------------------------------------
+
+
+def kill_pool(executor: ProcessPoolExecutor) -> None:
+    """Abandon a pool that may contain wedged workers.
+
+    ``shutdown(wait=True)`` would block behind the wedged job, so the
+    worker processes are terminated outright and the executor is told
+    not to wait for them.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for proc in list(processes.values()):
+        proc.terminate()
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+class LocalPoolTransport(Transport):
+    """The in-process ``ProcessPoolExecutor`` backend.
+
+    Each round builds a fresh pool (so retries never land on a pool
+    with wedged workers from the previous attempt) and terminates the
+    worker processes outright on abandon.
+    """
+
+    def __init__(self, workers: int, mp_context: str | None = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.mp_context = mp_context
+
+    def parallelism(self) -> int:
+        return self.workers
+
+    def _context(self):
+        import multiprocessing as mp
+
+        if self.mp_context is not None:
+            return mp.get_context(self.mp_context)
+        if "fork" in mp.get_all_start_methods():
+            return mp.get_context("fork")
+        return mp.get_context()
+
+    def open_round(self) -> "LocalPoolRound":
+        executor = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._context()
+        )
+        return LocalPoolRound(executor)
+
+
+class LocalPoolRound(TransportRound):
+    def __init__(self, executor: ProcessPoolExecutor) -> None:
+        self.executor = executor
+        self.broken = False
+        self._futures: dict[Future, Chunk] = {}
+        self._not_done: set[Future] = set()
+
+    def submit(self, start: int, jobs: list) -> None:
+        fut = self.executor.submit(run_chunk, jobs)
+        self._futures[fut] = (start, jobs)
+        self._not_done.add(fut)
+
+    def pending(self) -> list[Chunk]:
+        return [self._futures[f] for f in self._not_done]
+
+    def wait(self, timeout: float | None) -> list[ChunkEvent]:
+        done, self._not_done = wait(
+            self._not_done, timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        events: list[ChunkEvent] = []
+        for fut in done:
+            start, part = self._futures[fut]
+            exc = fut.exception()
+            if exc is None:
+                events.append((start, part, fut.result()))
+            elif isinstance(exc, BrokenProcessPool):
+                # The pool is dead; everything unfinished is lost too.
+                events.append((start, part, None))
+                self.broken = True
+            else:
+                # Application error: deterministic, never retried.
+                raise exc
+        return events
+
+    def abandon(self) -> None:
+        kill_pool(self.executor)
+
+    def close(self) -> None:
+        self.executor.shutdown(wait=True)

@@ -317,9 +317,9 @@ def run_compare_protocols(
     if runner is None:
         runner = make_runner(workers)
     if cache is not None and cache is not False:
-        from ..cache import CachedRunner, RunCache
+        from ..cache import attach_cache
 
-        runner = CachedRunner(cache=RunCache.at(cache), inner=runner)
+        runner = attach_cache(runner, cache)
     records = runner.run(jobs)
     return CompareProtocolsReport(
         records=list(records),

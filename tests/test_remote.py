@@ -1,0 +1,500 @@
+"""The distributed sweep transport: socket worker fleet, wire protocol,
+worker-side cache lookups, and dead-worker recovery.
+
+The contract under test extends ``docs/parallel.md`` across machines: a
+campaign fanned out to ``repro worker serve`` processes produces a
+report **byte-identical** to serial and in-process-pool execution —
+same run order, kills, violations, formatted text — while warm cache
+entries are served worker-side and never cross the wire.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro import perf
+from repro.cache import RunCache
+from repro.faults import run_campaign
+from repro.parallel import (
+    ProcessPoolRunner,
+    RemoteRunner,
+    SerialRunner,
+    SweepError,
+    WorkerServer,
+    parse_worker_addrs,
+)
+from repro.parallel.remote import _execute_chunk, _FrameBuffer, _pack, ping
+from repro.parallel.scenarios import RingScenario
+from tests.conftest import (
+    RING_INVARIANTS as INVARIANTS,
+    RING_SCENARIO as SCENARIO,
+    campaign_fields as _campaign_fields,
+)
+from tests.test_parallel import BoomJob, SquareJob
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ---------------------------------------------------------------------------
+# Workers: in-process (fast, shares the test process) and subprocess
+# (real `repro worker serve`, killable — the recovery tests need a
+# worker whose death closes its sockets).
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def worker_addr():
+    server = WorkerServer(("127.0.0.1", 0))
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    yield server.address
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _spawn_worker() -> tuple[subprocess.Popen, tuple[str, int]]:
+    """Start a real ``repro worker serve`` subprocess on an ephemeral
+    port and scrape the bound address from its readiness line."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT), env.get("PYTHONPATH", "")]
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "serve",
+         "--bind", "127.0.0.1:0"],
+        cwd=REPO_ROOT,
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stderr.readline()
+    assert "listening on" in line, f"worker failed to start: {line!r}"
+    hostport = line.split("listening on ")[1].split()[0]
+    host, port = hostport.rsplit(":", 1)
+    return proc, (host, int(port))
+
+
+@pytest.fixture
+def subprocess_workers():
+    procs: list[subprocess.Popen] = []
+    addrs: list[tuple[str, int]] = []
+    for _ in range(2):
+        proc, addr = _spawn_worker()
+        procs.append(proc)
+        addrs.append(addr)
+    yield addrs
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+        proc.stderr.close()
+        proc.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Fixture jobs (module level: they cross the socket by reference, so
+# subprocess workers import them as ``tests.test_remote``).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoisonFactory:
+    """A ring-scenario factory that crashes the *first* worker process
+    to build it (``os._exit``, no cleanup — a hard failure), exactly
+    once across the fleet (exclusive sentinel creation picks the one
+    victim).  Everywhere else — serially, or on the retry — it behaves
+    like the plain scenario, so the campaign report must come out
+    byte-identical to a serial run."""
+
+    scenario: RingScenario
+    sentinel: str
+
+    def __call__(self):
+        if os.environ.get("REPRO_WORKER_SERVE"):
+            try:
+                with open(self.sentinel, "x"):
+                    pass
+            except FileExistsError:
+                pass
+            else:
+                os._exit(1)
+        return self.scenario()
+
+
+def _campaign(runner=None, workers=None, factory=SCENARIO, **kw):
+    return run_campaign(
+        factory,
+        seeds=range(6),
+        horizon=8e-6,
+        invariants=INVARIANTS,
+        runner=runner,
+        workers=workers,
+        **kw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol pieces
+# ---------------------------------------------------------------------------
+
+
+class TestAddresses:
+    def test_parse_single_and_multi(self):
+        assert parse_worker_addrs("127.0.0.1:7777") == (("127.0.0.1", 7777),)
+        assert parse_worker_addrs("a:1, b:2 ,c:3,") == (
+            ("a", 1), ("b", 2), ("c", 3)
+        )
+
+    @pytest.mark.parametrize(
+        "spec", ["", "nonsense", ":7777", "host:", "host:abc", "host:0",
+                 "host:65536"]
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_worker_addrs(spec)
+
+
+class TestFraming:
+    def test_frame_buffer_reassembles_split_frames(self):
+        objs = [("done", 0, list(range(50))), ("pong", {"pid": 1}), "x" * 1000]
+        wire = b"".join(_pack(obj)[0] for obj in objs)
+        buf = _FrameBuffer()
+        got = []
+        # Drip-feed one byte at a time: frames must only surface once
+        # complete, in order, regardless of how recv() slices them.
+        for i in range(0, len(wire), 7):
+            buf.feed(wire[i : i + 7])
+            got.extend(buf.frames())
+        assert got == objs
+        assert buf.wire_in == len(wire)
+
+    def test_oversized_frame_rejected(self):
+        import struct
+
+        buf = _FrameBuffer()
+        buf.feed(struct.pack(">Q", 1 << 40))
+        with pytest.raises(ConnectionError):
+            list(buf.frames())
+
+
+# ---------------------------------------------------------------------------
+# RemoteRunner semantics (in-process worker)
+# ---------------------------------------------------------------------------
+
+
+class TestRemoteRunner:
+    def test_results_in_submission_order(self, worker_addr):
+        runner = RemoteRunner(addresses=[worker_addr], chunk_size=2)
+        assert runner.run([SquareJob(x) for x in range(10)]) == [
+            x * x for x in range(10)
+        ]
+
+    def test_empty_batch(self, worker_addr):
+        assert RemoteRunner(addresses=[worker_addr]).run([]) == []
+
+    def test_application_error_propagates_and_is_not_retried(
+        self, worker_addr
+    ):
+        runner = RemoteRunner(
+            addresses=[worker_addr], chunk_size=1, retries=3
+        )
+        with pytest.raises(ValueError, match="boom"):
+            runner.run([SquareJob(1), BoomJob()])
+
+    def test_no_reachable_workers_is_a_sweep_error(self):
+        # An ephemeral port nothing listens on.
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            dead = s.getsockname()
+        runner = RemoteRunner(addresses=[dead], connect_timeout=0.5)
+        with pytest.raises(SweepError, match="no reachable workers"):
+            runner.run([SquareJob(1)])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RemoteRunner(addresses=())
+        with pytest.raises(ValueError):
+            RemoteRunner(addresses="not-an-address")
+        with pytest.raises(ValueError):
+            RemoteRunner(addresses=[("h", 1)], chunk_size=0)
+        with pytest.raises(ValueError):
+            RemoteRunner(addresses=[("h", 1)], retries=-1)
+
+    def test_addresses_accept_spec_string(self, worker_addr):
+        runner = RemoteRunner(addresses=f"{worker_addr[0]}:{worker_addr[1]}")
+        assert runner.run([SquareJob(3)]) == [9]
+
+    def test_ping(self, worker_addr):
+        info = ping(worker_addr)
+        assert info["pid"] == os.getpid()  # in-process server
+        assert info["busy"] is False
+
+    def test_campaign_identical_across_all_runners(self, worker_addr):
+        serial = _campaign()
+        pooled = _campaign(runner=ProcessPoolRunner(workers=2))
+        remote = _campaign(runner=RemoteRunner(addresses=[worker_addr]))
+        assert _campaign_fields(serial) == _campaign_fields(remote)
+        assert serial.summary() == pooled.summary() == remote.summary()
+        assert serial.format() == pooled.format() == remote.format()
+
+    def test_run_stream_window_one_keeps_submission_order(self, worker_addr):
+        # The stream-window regression: even a window of 1 (fully
+        # serialized in-flight) must yield submission-order results.
+        jobs = [SquareJob(x) for x in range(9)]
+        expected = [x * x for x in range(9)]
+        remote = RemoteRunner(addresses=[worker_addr], chunk_size=2)
+        assert list(remote.run_stream(iter(jobs), window=1)) == expected
+        pool = ProcessPoolRunner(workers=2, chunk_size=2)
+        assert list(pool.run_stream(iter(jobs), window=1)) == expected
+        assert list(SerialRunner().run_stream(iter(jobs), window=1)) == expected
+
+    def test_streamed_campaign_with_window_one_matches_materialized(
+        self, worker_addr
+    ):
+        materialized = _campaign()
+        streamed = _campaign(
+            runner=RemoteRunner(addresses=[worker_addr]),
+            stream=True,
+            stream_window=1,
+        )
+        assert streamed.format() == materialized.format()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side cache lookups
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerSideCache:
+    def test_warm_hits_happen_in_the_worker(self, worker_addr, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+
+        def remote_runner():
+            runner = RemoteRunner(addresses=[worker_addr])
+            runner.attach_cache(cache)
+            return runner
+
+        serial = _campaign()
+        before = perf.CACHE.snapshot()
+        cold = _campaign(runner=remote_runner())
+        cold_delta = perf.CACHE.delta(before)
+        assert cold_delta["misses"] == 6
+        assert cold_delta["stores"] == 6
+
+        before = perf.CACHE.snapshot()
+        warm_runner = remote_runner()
+        warm = _campaign(runner=warm_runner)
+        warm_delta = perf.CACHE.delta(before)
+        assert warm_delta["hits"] == 6
+        assert warm_delta["misses"] == 0
+
+        assert serial.format() == cold.format() == warm.format()
+        assert _campaign_fields(serial) == _campaign_fields(warm)
+
+        (stats,) = warm_runner.worker_stats()
+        assert stats["cache_hits"] == 6
+        assert stats["cache_misses"] == 0
+
+    def test_hit_items_carry_no_payload(self, tmp_path):
+        # The wire-format guarantee behind the warm-run byte savings:
+        # a worker-side hit ships ("hit", outcome) — two fields, no
+        # stored payload — while misses ship the payload for the
+        # parent to store.
+        cache = RunCache(tmp_path / "cache")
+        job = next(iter(_campaign_jobs()))
+        cold = _execute_chunk([job], cache)
+        assert cold[0][0] == "miss" and len(cold[0]) == 4
+        cache.put_many([(cold[0][2], cold[0][3], job)])
+        warm = _execute_chunk([job], cache)
+        assert warm[0] == ("hit", cold[0][1])
+
+    def test_uncacheable_jobs_ship_raw(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        items = _execute_chunk([SquareJob(4)], cache)
+        assert items == [("raw", 16)]
+
+
+def _campaign_jobs():
+    from repro.faults.campaign import CampaignJob
+
+    yield CampaignJob(
+        factory=SCENARIO, seed=0, horizon=8e-6, invariants=INVARIANTS
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dead-worker recovery (real subprocess workers)
+# ---------------------------------------------------------------------------
+
+
+class TestDeadWorkerRecovery:
+    def test_worker_killed_mid_campaign_is_recovered(
+        self, subprocess_workers, tmp_path
+    ):
+        # One worker of two os._exit(1)s while executing a campaign
+        # chunk.  The parent sees EOF, declares the chunk lost, and the
+        # retry round re-dispatches it to the survivor — the report
+        # must come out byte-identical to serial, with the recovery
+        # visible in job_retries and the disconnect counters.
+        factory = PoisonFactory(
+            scenario=SCENARIO, sentinel=str(tmp_path / "poisoned")
+        )
+        serial = _campaign(factory=factory)
+        runner = RemoteRunner(
+            addresses=subprocess_workers, chunk_size=1, retries=2
+        )
+        remote = _campaign(runner=runner, factory=factory)
+        assert (tmp_path / "poisoned").exists(), "no worker was killed"
+        assert serial.format() == remote.format()
+        assert _campaign_fields(serial) == _campaign_fields(remote)
+        assert sum(runner.job_retries) > 0
+        assert sum(s["disconnects"] for s in runner.worker_stats()) >= 1
+
+    def test_dead_at_connect_worker_is_skipped(self, subprocess_workers):
+        # A worker that is already gone when the round opens simply
+        # never joins; the survivor does all the work.
+        import signal
+
+        serial = _campaign()
+        runner = RemoteRunner(addresses=subprocess_workers)
+        pid = ping(subprocess_workers[0])["pid"]
+        os.kill(pid, signal.SIGKILL)
+        remote = _campaign(runner=runner)
+        assert serial.format() == remote.format()
+        (dead, alive) = runner.worker_stats()
+        assert dead["jobs"] == 0
+        assert alive["jobs"] == 6
+
+
+# ---------------------------------------------------------------------------
+# Telemetry integration
+# ---------------------------------------------------------------------------
+
+
+class TestRemoteTelemetry:
+    def test_worker_lines_recorded_and_canonical_form_matches_serial(
+        self, worker_addr, tmp_path
+    ):
+        from repro.obs.telemetry import (
+            canonical_lines,
+            read_telemetry,
+            telemetry_errors,
+        )
+
+        serial_log = tmp_path / "serial.jsonl"
+        remote_log = tmp_path / "remote.jsonl"
+        _campaign(telemetry=str(serial_log))
+        _campaign(
+            runner=RemoteRunner(addresses=[worker_addr]),
+            telemetry=str(remote_log),
+        )
+        assert telemetry_errors(remote_log) == []
+        records = read_telemetry(remote_log)
+        workers = [r for r in records if r.get("kind") == "worker"]
+        assert len(workers) == 1
+        assert workers[0]["worker"] == f"{worker_addr[0]}:{worker_addr[1]}"
+        assert workers[0]["jobs"] == 6
+        # Canonical form drops transport detail: serial == remote.
+        assert canonical_lines(serial_log) == canonical_lines(remote_log)
+
+    def test_report_command_summarizes_remote_workers(
+        self, worker_addr, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        log = tmp_path / "remote.jsonl"
+        _campaign(
+            runner=RemoteRunner(addresses=[worker_addr]),
+            telemetry=str(log),
+        )
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "remote workers: 1" in out
+        assert f"{worker_addr[0]}:{worker_addr[1]}" in out
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+# ---------------------------------------------------------------------------
+
+
+class TestRemoteCli:
+    def test_remote_campaign_matches_serial(self, worker_addr, capsys):
+        from repro.cli import main
+
+        base = ["campaign", "--nprocs", "4", "--iters", "3",
+                "--runs", "5", "--horizon", "8e-6"]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + [
+            "--transport", "remote",
+            "--workers-addr", f"{worker_addr[0]}:{worker_addr[1]}",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "[remote]" in captured.err
+
+    def test_stream_window_flag(self, worker_addr, capsys):
+        from repro.cli import main
+
+        base = ["campaign", "--nprocs", "4", "--iters", "3",
+                "--runs", "5", "--horizon", "8e-6"]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--stream", "--stream-window", "1"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_transport_remote_requires_workers_addr(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="requires --workers-addr"):
+            main(["campaign", "--runs", "2", "--transport", "remote"])
+
+    def test_workers_addr_requires_transport_remote(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="requires --transport remote"):
+            main(["campaign", "--runs", "2",
+                  "--workers-addr", "127.0.0.1:7777"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["campaign", "--runs", "2", "--workers", "0"],
+            ["campaign", "--runs", "2", "--stream-window", "0"],
+            ["campaign", "--runs", "2", "--transport", "remote",
+             "--workers-addr", "nonsense"],
+        ],
+    )
+    def test_parse_time_validation(self, argv, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(argv)
+        capsys.readouterr()
+
+    def test_worker_ping_command(self, worker_addr, capsys):
+        from repro.cli import main
+
+        addr = f"{worker_addr[0]}:{worker_addr[1]}"
+        assert main(["worker", "ping", addr]) == 0
+        assert f"[worker] {addr} pid=" in capsys.readouterr().out
+
+    def test_worker_ping_unreachable(self, capsys):
+        from repro.cli import main
+
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            host, port = s.getsockname()
+        assert main(["worker", "ping", f"{host}:{port}"]) == 1
+        assert "unreachable" in capsys.readouterr().err
