@@ -21,6 +21,10 @@ per backend.  ``bench_cache_lookup_sqlite`` asserts the WAL database
 answers the batch at least **5x** faster than the sharded-JSON layout —
 the number that makes million-run campaigns practical (JSON pays one
 ``open``/``read``/``parse`` per key; SQLite pays ~20 indexed queries).
+The gate measures the two backends interleaved, back-to-back, so
+machine-load drift between the independently-timed series cannot fail
+it, and with the cyclic collector quiesced so gen-2 sweeps of a full
+test session's heap don't land inside the short sqlite window.
 
 All series land in ``BENCH_simperf.json`` with their ``cache_*``
 counter deltas (see ``conftest.timed``), so the trajectory file records
@@ -29,9 +33,13 @@ the hit/miss traffic alongside the wall times.
 
 from __future__ import annotations
 
+import gc
 import shutil
 import tempfile
+import time
 from pathlib import Path
+
+import pytest
 
 from repro.analysis import ascii_table
 from repro.cache import RunCache
@@ -141,41 +149,80 @@ def _synthetic_store(backend: str, root: Path) -> tuple[RunCache, list[str]]:
     return cache, keys
 
 
-def _bench_lookup(benchmark, backend: str):
-    d = tempfile.mkdtemp(prefix=f"repro-bench-{backend}-")
-    try:
-        cache, keys = _synthetic_store(backend, Path(d))
-
-        def lookup():
-            got = cache.get_many(keys)
-            assert all(status == "hit" for status, _ in got)
-            return got
-
-        timed(benchmark, lookup)
-    finally:
+@pytest.fixture(scope="module")
+def lookup_stores():
+    """One pre-populated store per backend, shared by the lookup benches
+    so the speedup gate can re-measure both back-to-back."""
+    dirs: list[str] = []
+    stores: dict[str, tuple[RunCache, list[str]]] = {}
+    for backend in ("json", "sqlite"):
+        d = tempfile.mkdtemp(prefix=f"repro-bench-{backend}-")
+        dirs.append(d)
+        stores[backend] = _synthetic_store(backend, Path(d))
+    yield stores
+    for d in dirs:
         shutil.rmtree(d, ignore_errors=True)
 
 
-def bench_cache_lookup_json(benchmark):
-    _bench_lookup(benchmark, "json")
+def _bench_lookup(benchmark, stores, backend: str):
+    cache, keys = stores[backend]
+
+    def lookup():
+        got = cache.get_many(keys)
+        assert all(status == "hit" for status, _ in got)
+        return got
+
+    timed(benchmark, lookup)
 
 
-def bench_cache_lookup_sqlite(benchmark):
-    _bench_lookup(benchmark, "sqlite")
+def bench_cache_lookup_json(benchmark, lookup_stores):
+    _bench_lookup(benchmark, lookup_stores, "json")
+
+
+def bench_cache_lookup_sqlite(benchmark, lookup_stores):
+    _bench_lookup(benchmark, lookup_stores, "sqlite")
     sqlite_s = min(_PERF["bench_cache_lookup_sqlite"])
     rows = [["sqlite", f"{sqlite_s:.4f}", "-"]]
     json_series = _PERF.get("bench_cache_lookup_json")
     if json_series:
-        json_s = min(json_series)
-        speedup = json_s / sqlite_s if sqlite_s > 0 else float("inf")
-        rows.insert(0, ["json", f"{json_s:.4f}", "-"])
+        # The two series above were timed minutes apart in a full bench
+        # session, and machine-load drift between them dwarfs the
+        # backend gap's error bars.  Gate on a warmth-matched ratio
+        # instead: alternate json/sqlite batches back-to-back and
+        # compare the best of each.  The collector is quiesced for the
+        # comparison: one get_many materializes ~3 objects per key, so
+        # in a full-suite run a gen-2 sweep of the accumulated heap
+        # lands inside the ~40ms sqlite window often enough to double
+        # it (json's ~200ms window absorbs the same pause in the
+        # noise).
+        best = {"json": float("inf"), "sqlite": float("inf")}
+        gc.collect()
+        gc.disable()
+        try:
+            for _ in range(3):
+                for backend in ("json", "sqlite"):
+                    cache, keys = lookup_stores[backend]
+                    t0 = time.perf_counter()
+                    cache.get_many(keys)
+                    best[backend] = min(
+                        best[backend], time.perf_counter() - t0
+                    )
+        finally:
+            gc.enable()
+        speedup = (
+            best["json"] / best["sqlite"]
+            if best["sqlite"] > 0 else float("inf")
+        )
+        rows.insert(0, ["json", f"{min(json_series):.4f}", "-"])
         rows[-1][-1] = f"{speedup:.1f}x"
         assert speedup >= LOOKUP_SPEEDUP_FLOOR, (
             f"sqlite warm lookup only {speedup:.1f}x faster than json "
-            f"at {LOOKUP_ENTRIES} entries (floor: {LOOKUP_SPEEDUP_FLOOR}x)"
+            f"at {LOOKUP_ENTRIES} entries (floor: {LOOKUP_SPEEDUP_FLOOR}x, "
+            f"interleaved best-of-3: json {best['json'] * 1e3:.1f}ms / "
+            f"sqlite {best['sqlite'] * 1e3:.1f}ms)"
         )
     emit(
         f"cache backend warm lookup ({LOOKUP_ENTRIES} entries, one "
-        f"get_many per round)",
+        f"get_many per round; speedup from interleaved best-of-3)",
         ascii_table(["backend", "min wall s", "speedup"], rows),
     )

@@ -22,12 +22,14 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import ascii_table
 from repro.faults import run_campaign
+from repro.obs.spans import SpanRecorder, recording
 from repro.parallel import (
     ProcessPoolRunner,
     RemoteRunner,
@@ -43,6 +45,9 @@ SCENARIO = RingScenario(nprocs=N, iters=ITERS)
 INVARIANTS = StandardRingInvariants(ITERS, N)
 #: Loopback socket dispatch may not cost more than this over the pool.
 OVERHEAD_CEILING = 1.5
+#: With no recorder installed the span hooks must be free: the spans-off
+#: campaign may not cost more than this over the plain loopback series.
+SPANS_DISABLED_CEILING = 1.05
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -140,4 +145,72 @@ def bench_campaign_remote_loopback(benchmark, worker_addr):
                 f"{stats['compression']}x",
             ]],
         ),
+    )
+
+
+def bench_campaign_remote_spans(benchmark, worker_addr):
+    """The same loopback campaign with span recording off vs on.
+
+    Each round interleaves three passes — a plain reference campaign,
+    the spans-*off* path (hooks compiled in, no recorder installed),
+    and the spans-*on* path (a :class:`SpanRecorder` active, worker
+    spans shipped back in every done frame).  Interleaving keeps the
+    comparison warmth-matched: cross-bench mins drift far more than the
+    hooks cost.  The spans-off and spans-on wall times land as their
+    own ``BENCH_simperf.json`` series (so the *trajectory* of the
+    disabled path is pinned across commits), and the bench asserts
+    in-bench that the disabled path stays within
+    ``SPANS_DISABLED_CEILING`` of the reference pass: tracing must be
+    opt-in and free when off.
+    """
+    walls: dict[str, list[float]] = {"plain": [], "off": [], "on": []}
+
+    def one_pass(label):
+        runner = RemoteRunner(addresses=[worker_addr])
+        t0 = time.perf_counter()
+        if label == "on":
+            recorder = SpanRecorder(kind="campaign")
+            with recording(recorder):
+                report = _campaign(runner)
+            wall = time.perf_counter() - t0
+            jobs = sum(
+                1 for s in recorder.export_raw() if s.get("cat") == "job"
+            )
+            assert jobs == RUNS
+        else:
+            report = _campaign(runner)
+            wall = time.perf_counter() - t0
+        walls[label].append(wall)
+        assert report.summary()["runs"] == RUNS
+
+    def once():
+        for label in ("plain", "off", "on"):
+            one_pass(label)
+
+    timed(benchmark, once)
+    plain_s = min(walls["plain"])
+    off_s, on_s = min(walls["off"]), min(walls["on"])
+    _PERF.setdefault("bench_campaign_remote_spans_off", []).extend(
+        walls["off"]
+    )
+    _PERF.setdefault("bench_campaign_remote_spans_on", []).extend(
+        walls["on"]
+    )
+    disabled = off_s / plain_s if plain_s > 0 else float("inf")
+    enabled = on_s / off_s if off_s > 0 else float("inf")
+    emit(
+        "campaign, remote loopback: span recording overhead",
+        ascii_table(
+            ["mode", "min wall s", "vs reference"],
+            [
+                ["reference (no recorder)", f"{plain_s:.4f}", "-"],
+                ["spans off", f"{off_s:.4f}", f"{disabled:.2f}x"],
+                ["spans on", f"{on_s:.4f}", f"{enabled:.2f}x vs off"],
+            ],
+        ),
+    )
+    assert disabled <= SPANS_DISABLED_CEILING, (
+        f"spans-off campaign cost {disabled:.2f}x the interleaved "
+        f"reference pass (ceiling: {SPANS_DISABLED_CEILING}x) — the "
+        f"disabled span path is supposed to be free"
     )

@@ -18,6 +18,8 @@ runs across a pool in either mode.
 
 from __future__ import annotations
 
+import time
+
 from repro.analysis import ascii_table
 from repro.faults import run_campaign
 from repro.parallel import RingScenario, StandardRingInvariants
@@ -67,15 +69,26 @@ def bench_campaign_streamed(benchmark):
     rows = [["streamed", f"{streamed_s:.4f}", "-"]]
     mat_series = _PERF.get("bench_campaign_materialized")
     if mat_series:
-        mat_s = min(mat_series)
-        ratio = streamed_s / mat_s if mat_s > 0 else float("inf")
-        rows.insert(0, ["materialized", f"{mat_s:.4f}", "-"])
+        # The two series above were timed minutes apart in a full bench
+        # session; machine-load drift between them exceeds the windowing
+        # overhead being gated.  Assert on a warmth-matched ratio
+        # instead: alternate materialized/streamed passes back-to-back
+        # and compare the best of each.
+        best = {False: float("inf"), True: float("inf")}
+        for _ in range(3):
+            for stream in (False, True):
+                t0 = time.perf_counter()
+                _campaign(stream=stream)
+                best[stream] = min(best[stream], time.perf_counter() - t0)
+        ratio = best[True] / best[False] if best[False] > 0 else float("inf")
+        rows.insert(0, ["materialized", f"{min(mat_series):.4f}", "-"])
         rows[-1][-1] = f"{ratio:.2f}x"
         assert ratio <= OVERHEAD_CEILING, (
             f"streaming cost {ratio:.2f}x the materialized sweep "
-            f"(ceiling: {OVERHEAD_CEILING}x)"
+            f"(ceiling: {OVERHEAD_CEILING}x, interleaved best-of-3)"
         )
     emit(
-        "campaign, streamed (same runs through bounded windows)",
+        "campaign, streamed (same runs through bounded windows; overhead "
+        "from interleaved best-of-3)",
         ascii_table(["mode", "min wall s", "overhead"], rows),
     )

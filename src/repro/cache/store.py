@@ -46,6 +46,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
+from ..obs import registry as _metrics
+from ..obs.spans import active as _spans_active
 from .keys import KEY_FORMAT, job_key
 
 try:  # pragma: no cover - exercised only where fcntl exists (POSIX)
@@ -385,7 +387,27 @@ class RunCache:
         streaming sweep pipeline issues per chunk instead of one read
         per job.
         """
-        return [self._classify(e) for e in self.store.read_many(keys)]
+        recorder = _spans_active()
+        if recorder is None:
+            classified = [
+                self._classify(e) for e in self.store.read_many(keys)
+            ]
+        else:
+            with recorder.span(
+                "cache.get_many", "cache", attrs={"keys": len(keys)}
+            ) as span:
+                classified = [
+                    self._classify(e) for e in self.store.read_many(keys)
+                ]
+                span.attrs["hits"] = sum(
+                    1 for status, _ in classified if status == "hit"
+                )
+        counts: dict[str, int] = {}
+        for status, _ in classified:
+            counts[status] = counts.get(status, 0) + 1
+        for status, count in counts.items():
+            _metrics.CACHE_LOOKUPS.inc(count, result=status)
+        return classified
 
     @staticmethod
     def _classify(
@@ -438,10 +460,23 @@ class RunCache:
     ) -> None:
         """Batched :meth:`put`: one lock acquisition / one transaction
         for the whole batch (``items`` are ``(key, payload, job)``)."""
-        self.store.write_many(
-            (key, self._make_entry(key, payload, job))
-            for key, payload, job in items
-        )
+        count = 0
+
+        def _entries() -> Iterator[tuple[str, dict[str, Any]]]:
+            nonlocal count
+            for key, payload, job in items:
+                count += 1
+                yield key, self._make_entry(key, payload, job)
+
+        recorder = _spans_active()
+        if recorder is None:
+            self.store.write_many(_entries())
+        else:
+            with recorder.span("cache.put_many", "cache") as span:
+                self.store.write_many(_entries())
+                span.attrs["stores"] = count
+        if count:
+            _metrics.CACHE_STORES.inc(count)
 
     # -- maintenance --------------------------------------------------
 

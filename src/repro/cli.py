@@ -51,6 +51,16 @@ Subcommands
     rate.  ``--canon`` prints the canonical lines CI diffs between
     serial and pooled runs.
 
+``spans`` / ``metrics`` / ``top``
+    Pipeline observability: the sweep subcommands take ``--spans FILE``
+    to record orchestration spans (rounds, chunks, wire frames,
+    worker-side execution, cache batches) which ``spans`` validates,
+    canonicalizes, or converts to Perfetto tracks; ``metrics serve``
+    exposes Prometheus-style ``/metrics`` + ``/healthz`` over stdlib
+    HTTP; ``top --telemetry FILE --follow`` is the live campaign
+    console (progress, throughput, outcome histogram, per-worker
+    rtt/bytes/cache columns).
+
 ``cache``
     Inspect and maintain the content-addressed run cache
     (``stats`` / ``gc`` / ``verify`` / ``migrate``).  The sweep
@@ -183,6 +193,21 @@ def _positive_int(value: str) -> int:
     return n
 
 
+def _positive_float(value: str) -> float:
+    """argparse type for durations that must be finite and > 0
+    (``--heartbeat-interval``, ``--connect-timeout``): a clear
+    parse-time error instead of a hang or a traceback mid-sweep."""
+    try:
+        x = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not a number")
+    if not (x > 0) or x != x or x == float("inf"):
+        raise argparse.ArgumentTypeError(
+            f"must be a finite number > 0 (got {value})"
+        )
+    return x
+
+
 def _worker_addrs(value: str):
     """argparse type for ``--workers-addr HOST:PORT[,HOST:PORT...]``."""
     from .parallel.remote import parse_worker_addrs
@@ -232,6 +257,18 @@ def _add_transport_args(p: argparse.ArgumentParser) -> None:
         metavar="HOST:PORT,...",
         help="comma-separated worker addresses for --transport remote",
     )
+    p.add_argument(
+        "--heartbeat-interval", type=_positive_float, default=2.0,
+        metavar="SECONDS",
+        help="how long a remote worker may stay silent before the parent "
+             "probes it with a ping (default: 2.0; --transport remote only)",
+    )
+    p.add_argument(
+        "--connect-timeout", type=_positive_float, default=5.0,
+        metavar="SECONDS",
+        help="socket connect budget per remote worker (default: 5.0; "
+             "--transport remote only)",
+    )
 
 
 def _add_stream_window_arg(p: argparse.ArgumentParser) -> None:
@@ -254,7 +291,11 @@ def _sweep_runner(args: argparse.Namespace):
             )
         from .parallel.remote import RemoteRunner
 
-        return RemoteRunner(addresses=addrs)
+        return RemoteRunner(
+            addresses=addrs,
+            heartbeat=getattr(args, "heartbeat_interval", 2.0),
+            connect_timeout=getattr(args, "connect_timeout", 5.0),
+        )
     if addrs:
         raise SystemExit("--workers-addr requires --transport remote")
     return None
@@ -278,6 +319,40 @@ def _report_remote(runner) -> None:
             + f" disconnects={s['disconnects']}",
             file=sys.stderr,
         )
+
+
+def _add_spans_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--spans", default=None, metavar="FILE",
+        help="record orchestration spans (rounds, chunks, wire frames, "
+             "worker-side execution, cache batches) to FILE as "
+             "repro.spans/1 JSONL; inspect with `repro spans FILE`",
+    )
+
+
+def _spans_scope(args: argparse.Namespace):
+    """Context manager installing a span recorder for the sweep when
+    ``--spans FILE`` was given (a no-op otherwise).  The file is written
+    on exit; the announcement goes to stderr so stdout stays
+    byte-identical to a spans-off run."""
+    from contextlib import contextmanager, nullcontext
+
+    path = getattr(args, "spans", None)
+    if not path:
+        return nullcontext()
+    from .obs.spans import SpanRecorder, recording, write_spans
+
+    @contextmanager
+    def scope():
+        recorder = SpanRecorder(kind=args.command)
+        try:
+            with recording(recorder):
+                yield recorder
+        finally:
+            write_spans(path, recorder)
+            print(f"[spans] wrote {path}", file=sys.stderr)
+
+    return scope()
 
 
 def _add_cache_args(p: argparse.ArgumentParser) -> None:
@@ -436,22 +511,23 @@ def cmd_explore(args: argparse.Namespace) -> int:
             print(f"[explore] {done}/{total} scenarios", file=sys.stderr)
     before = _cache_counters_snapshot(args)
     runner = _sweep_runner(args)
-    rep = explore(
-        _ring_scenario(args),
-        invariants=StandardRingInvariants(
-            args.iters, args.nprocs, allow_root_loss=args.rootft
-        ),
-        ranks=ranks,
-        pairs=args.pairs,
-        max_windows=args.limit,
-        workers=args.workers,
-        runner=runner,
-        cache=_cache_arg(args),
-        progress=progress,
-        telemetry=args.telemetry,
-        stream=args.stream,
-        stream_window=args.stream_window,
-    )
+    with _spans_scope(args):
+        rep = explore(
+            _ring_scenario(args),
+            invariants=StandardRingInvariants(
+                args.iters, args.nprocs, allow_root_loss=args.rootft
+            ),
+            ranks=ranks,
+            pairs=args.pairs,
+            max_windows=args.limit,
+            workers=args.workers,
+            runner=runner,
+            cache=_cache_arg(args),
+            progress=progress,
+            telemetry=args.telemetry,
+            stream=args.stream,
+            stream_window=args.stream_window,
+        )
     print(rep.format())
     _report_cache(args, before)
     _report_remote(runner)
@@ -465,22 +541,23 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         eligible = list(range(args.nprocs))  # the root may die too
     before = _cache_counters_snapshot(args)
     runner = _sweep_runner(args)
-    rep = run_campaign(
-        _ring_scenario(args),
-        seeds=range(args.first_seed, args.first_seed + args.runs),
-        horizon=args.horizon,
-        kills_per_run=args.kills,
-        eligible_ranks=eligible,
-        invariants=StandardRingInvariants(
-            args.iters, args.nprocs, allow_root_loss=args.rootft
-        ),
-        workers=args.workers,
-        runner=runner,
-        cache=_cache_arg(args),
-        telemetry=args.telemetry,
-        stream=args.stream,
-        stream_window=args.stream_window,
-    )
+    with _spans_scope(args):
+        rep = run_campaign(
+            _ring_scenario(args),
+            seeds=range(args.first_seed, args.first_seed + args.runs),
+            horizon=args.horizon,
+            kills_per_run=args.kills,
+            eligible_ranks=eligible,
+            invariants=StandardRingInvariants(
+                args.iters, args.nprocs, allow_root_loss=args.rootft
+            ),
+            workers=args.workers,
+            runner=runner,
+            cache=_cache_arg(args),
+            telemetry=args.telemetry,
+            stream=args.stream,
+            stream_window=args.stream_window,
+        )
     print(rep.format())
     _report_cache(args, before)
     _report_remote(runner)
@@ -650,21 +727,22 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     before = _cache_counters_snapshot(args)
     runner = _sweep_runner(args)
-    report = fuzz(
-        _fuzz_scenario(args),
-        runs=args.runs,
-        seed=args.fuzz_seed,
-        runner=runner or make_runner(args.workers),
-        cache=_cache_arg(args),
-        shrink_failures=not args.no_shrink,
-        max_jitter=args.max_jitter,
-        min_kills=args.min_kills,
-        max_kills=args.max_kills,
-        horizon=args.horizon,
-        telemetry=args.telemetry,
-        stream=args.stream,
-        stream_window=args.stream_window,
-    )
+    with _spans_scope(args):
+        report = fuzz(
+            _fuzz_scenario(args),
+            runs=args.runs,
+            seed=args.fuzz_seed,
+            runner=runner or make_runner(args.workers),
+            cache=_cache_arg(args),
+            shrink_failures=not args.no_shrink,
+            max_jitter=args.max_jitter,
+            min_kills=args.min_kills,
+            max_kills=args.max_kills,
+            horizon=args.horizon,
+            telemetry=args.telemetry,
+            stream=args.stream,
+            stream_window=args.stream_window,
+        )
     print(report.format(verbose=args.verbose)
           if not args.stream else report.format())
     _report_cache(args, before)
@@ -695,8 +773,12 @@ def cmd_worker(args: argparse.Namespace) -> int:
         return 0
     # ping
     host, port = args.addr
+    # --heartbeat-interval probes with the same budget a sweep's
+    # liveness check would use; --timeout is the general budget.
+    timeout = (args.heartbeat_interval
+               if args.heartbeat_interval is not None else args.timeout)
     try:
-        info = remote.ping(args.addr, timeout=args.timeout)
+        info = remote.ping(args.addr, timeout=timeout)
     except OSError as exc:
         print(f"[worker] {host}:{port} unreachable: {exc}", file=sys.stderr)
         return 1
@@ -815,10 +897,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Aggregate a sweep telemetry file without re-running anything."""
+    import json
+
     from .obs import (
         canonical_lines,
         read_telemetry,
         summarize,
+        summary_dict,
         telemetry_errors,
     )
 
@@ -837,10 +922,99 @@ def cmd_report(args: argparse.Namespace) -> int:
             for line in canonical_lines(path):
                 print(line)
             continue
+        summary = summarize(read_telemetry(path), top=args.top)
+        if args.format == "json":
+            # One compact object per file: dashboards and CI consume
+            # this instead of scraping the text layout.
+            print(json.dumps(summary_dict(summary), sort_keys=True,
+                             separators=(",", ":")))
+            continue
         if len(args.files) > 1:
             print(f"== {path}")
-        print(summarize(read_telemetry(path), top=args.top).format())
+        print(summary.format())
     return worst
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    """Validate, canonicalize, or convert a ``repro.spans/1`` stream."""
+    from pathlib import Path
+
+    from .obs import (
+        canonical_spans,
+        dumps_perfetto,
+        perfetto_errors,
+        read_spans,
+        span_errors,
+        spans_to_perfetto,
+    )
+
+    worst = 0
+    for path in args.files:
+        errors = span_errors(path)
+        if errors:
+            print(f"== {path}: INVALID", file=sys.stderr)
+            for e in errors:
+                print(f"  - {e}", file=sys.stderr)
+            worst = 1
+            continue
+        if args.validate:
+            records = read_spans(path)
+            print(f"[spans] {path} valid ({len(records) - 1} span(s))",
+                  file=sys.stderr)
+        if args.canon:
+            # Placement-independent view: volatile fields (times, ids,
+            # tracks) dropped — byte-diffable serial vs pooled vs remote.
+            text = "\n".join(canonical_spans(path)) + "\n"
+        elif args.format == "perfetto":
+            doc = spans_to_perfetto(path)
+            errors = perfetto_errors(doc)
+            if errors:
+                for e in errors:
+                    print(f"[spans] INVALID perfetto: {e}", file=sys.stderr)
+                worst = 1
+                continue
+            text = dumps_perfetto(doc)
+        elif args.validate:
+            continue  # --validate alone: no re-emission
+        else:
+            text = Path(path).read_text()
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text, end="" if text.endswith("\n") else "\n")
+    return worst
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Serve /metrics + /healthz over stdlib HTTP until interrupted."""
+    from .obs.registry import MetricsServer
+
+    server = MetricsServer(args.bind, telemetry=args.telemetry)
+    host, port = server.address
+    print(
+        f"[metrics] serving on http://{host}:{port}/metrics pid={os.getpid()}",
+        file=sys.stderr, flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live campaign console over a telemetry stream."""
+    from .obs.console import top
+
+    return top(
+        args.telemetry,
+        follow=args.follow,
+        interval=args.interval,
+        top_n=args.top,
+    )
 
 
 def cmd_abft(args: argparse.Namespace) -> int:
@@ -916,6 +1090,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pipe windows through the streaming pipeline "
                          "(O(failures) memory; same report text)")
     _add_stream_window_arg(ex)
+    _add_spans_arg(ex)
     _add_cache_args(ex)
     ex.set_defaults(fn=cmd_explore)
 
@@ -949,6 +1124,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "memory stays O(failures) however large --runs "
                            "gets; the report text is identical")
     _add_stream_window_arg(camp)
+    _add_spans_arg(camp)
     _add_cache_args(camp)
     camp.set_defaults(fn=cmd_campaign)
 
@@ -1076,6 +1252,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pipe configs through the streaming pipeline "
                          "(O(failures) memory; --verbose unavailable)")
     _add_stream_window_arg(fz)
+    _add_spans_arg(fz)
     fz.add_argument("--coverage", action="store_true",
                     help="coverage-guided mode: keep configs that hit "
                          "novel coverage cells and mutate them (--runs "
@@ -1164,7 +1341,71 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the canonical (volatile-free, sorted) "
                           "lines instead of a summary — byte-diffable "
                           "between serial and pooled runs")
+    rep.add_argument("--format", default="text", choices=["text", "json"],
+                     help="summary output format: 'text' (human layout) or "
+                          "'json' (one repro.report/1 object per file for "
+                          "dashboards and CI)")
     rep.set_defaults(fn=cmd_report)
+
+    sp = sub.add_parser(
+        "spans",
+        help="validate, canonicalize, or convert repro.spans/1 pipeline "
+             "span streams (written via --spans)",
+    )
+    sp.add_argument("files", nargs="+", metavar="SPANS",
+                    help="span JSONL file(s) written via --spans")
+    sp.add_argument("--format", default="jsonl",
+                    choices=["jsonl", "perfetto"],
+                    help="re-emit as-is (jsonl) or as a Chrome Trace Event "
+                         "document with one track per worker (perfetto — "
+                         "open at https://ui.perfetto.dev)")
+    sp.add_argument("--canon", action="store_true",
+                    help="print the canonical (volatile-free, sorted) span "
+                         "lines — byte-diffable serial vs pooled vs remote")
+    sp.add_argument("-o", "--output", default=None, metavar="FILE",
+                    help="write to FILE instead of stdout")
+    sp.add_argument("--validate", action="store_true",
+                    help="schema-validate the stream (non-zero exit on any "
+                         "violation); alone, emits nothing")
+    sp.set_defaults(fn=cmd_spans)
+
+    mx = sub.add_parser(
+        "metrics",
+        help="Prometheus-style metrics endpoints over the sweep pipeline",
+    )
+    mxsub = mx.add_subparsers(dest="metrics_cmd", required=True)
+    mxserve = mxsub.add_parser(
+        "serve",
+        help="serve /metrics (text exposition) and /healthz over stdlib "
+             "HTTP until interrupted",
+    )
+    mxserve.add_argument("--bind", type=_bind_addr,
+                         default=("127.0.0.1", 0), metavar="HOST:PORT",
+                         help="listen address; port 0 picks a free port "
+                              "(default: 127.0.0.1:0; the bound port is in "
+                              "the readiness line)")
+    mxserve.add_argument("--telemetry", default=None, metavar="FILE",
+                         help="rebuild the registry from this telemetry "
+                              "JSONL on every scrape (live campaign "
+                              "dashboards); default: this process's own "
+                              "in-process counters")
+    mxserve.set_defaults(fn=cmd_metrics)
+
+    tp = sub.add_parser(
+        "top",
+        help="live campaign console over a --telemetry stream "
+             "(progress, throughput, outcomes, per-worker table)",
+    )
+    tp.add_argument("--telemetry", required=True, metavar="FILE",
+                    help="telemetry JSONL a sweep is writing (or wrote)")
+    tp.add_argument("--follow", action="store_true",
+                    help="repaint every --interval seconds until the "
+                         "declared run count has landed")
+    tp.add_argument("--interval", type=_positive_float, default=2.0,
+                    help="repaint interval in seconds (default: 2)")
+    tp.add_argument("--top", type=_positive_int, default=3,
+                    help="how many slowest jobs to list (default: 3)")
+    tp.set_defaults(fn=cmd_top)
 
     wk = sub.add_parser(
         "worker",
@@ -1190,6 +1431,10 @@ def build_parser() -> argparse.ArgumentParser:
     wkping.add_argument("addr", type=_worker_addr, metavar="HOST:PORT")
     wkping.add_argument("--timeout", type=float, default=2.0,
                         help="connect/reply budget in seconds (default: 2)")
+    wkping.add_argument("--heartbeat-interval", type=_positive_float,
+                        default=None, metavar="SECONDS",
+                        help="probe with the budget a sweep's liveness "
+                             "heartbeat would use (overrides --timeout)")
     wkping.set_defaults(fn=cmd_worker)
 
     rp = sub.add_parser(

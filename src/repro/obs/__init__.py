@@ -10,10 +10,20 @@ Three layers over the deterministic kernel (see ``docs/observability.md``):
   detection and validate latencies);
 * :mod:`repro.obs.telemetry` — per-job JSONL telemetry for sweeps
   (explore/campaign/fuzz), canonically serial==pooled, aggregated
-  offline by ``repro report``.
+  offline by ``repro report``;
+* :mod:`repro.obs.spans` — orchestration span tracing over the sweep
+  pipeline (rounds, chunks, wire frames, worker-side execution, cache
+  batches), exported as ``repro.spans/1`` JSONL or Perfetto tracks;
+* :mod:`repro.obs.registry` — a stdlib Prometheus-style metrics
+  registry (counters/gauges/histograms) with text exposition and the
+  ``repro metrics serve`` scrape endpoint;
+* :mod:`repro.obs.console` — the ``repro top`` live campaign dashboard
+  over a telemetry stream.
 
 Everything here is opt-in: a simulation without ``metrics=True`` and a
-sweep without ``telemetry=`` allocate no obs state at all.
+sweep without ``telemetry=`` allocate no obs state at all, and spans
+cost one thread-local read per instrumentation site when no recorder
+is installed.
 """
 
 from .export import (
@@ -27,8 +37,36 @@ from .export import (
     write_perfetto,
     write_trace_jsonl,
 )
+from .console import read_telemetry_tail, render_top, top
 from .metrics import KernelMetrics, RankSummary, RunReport, Series, run_report
+from .registry import (
+    EXPOSITION_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+    REGISTRY,
+    registry_from_telemetry,
+)
 from .scenarios import SCENARIOS, make_scenario
+from .spans import (
+    CANONICAL_CATEGORIES,
+    SPANS_FORMAT,
+    SPAN_CATEGORIES,
+    SPAN_VOLATILE_KEYS,
+    Span,
+    SpanRecorder,
+    active,
+    canonical_spans,
+    dumps_spans,
+    read_spans,
+    recording,
+    span_errors,
+    spans_to_perfetto,
+    spans_to_records,
+    write_spans,
+)
 from .telemetry import (
     TELEMETRY_FORMAT,
     TelemetryJob,
@@ -43,38 +81,66 @@ from .telemetry import (
     run_recorded_stream,
     runner_worker_stats,
     summarize,
+    summary_dict,
     telemetry_errors,
 )
 
 __all__ = [
+    "CANONICAL_CATEGORIES",
+    "Counter",
+    "EXPOSITION_CONTENT_TYPE",
+    "Gauge",
+    "Histogram",
     "JSONL_FORMAT",
     "KernelMetrics",
+    "MetricsRegistry",
+    "MetricsServer",
+    "REGISTRY",
     "RankSummary",
     "RunReport",
     "SCENARIOS",
+    "SPANS_FORMAT",
+    "SPAN_CATEGORIES",
+    "SPAN_VOLATILE_KEYS",
     "Series",
+    "Span",
+    "SpanRecorder",
     "TELEMETRY_FORMAT",
     "TelemetryJob",
     "TelemetryResult",
     "TelemetrySummary",
     "TelemetryWriter",
     "VOLATILE_KEYS",
+    "active",
     "canonical_lines",
+    "canonical_spans",
     "dumps_perfetto",
+    "dumps_spans",
     "jsonl_errors",
     "load_trace_jsonl",
     "make_scenario",
     "outcome_class",
     "perfetto_errors",
+    "read_spans",
     "read_telemetry",
+    "read_telemetry_tail",
+    "recording",
+    "registry_from_telemetry",
+    "render_top",
     "run_recorded",
     "run_recorded_stream",
     "run_report",
     "runner_worker_stats",
+    "span_errors",
+    "spans_to_perfetto",
+    "spans_to_records",
     "summarize",
+    "summary_dict",
     "telemetry_errors",
+    "top",
     "trace_to_jsonl",
     "trace_to_perfetto",
     "write_perfetto",
+    "write_spans",
     "write_trace_jsonl",
 ]

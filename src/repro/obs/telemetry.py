@@ -50,6 +50,7 @@ __all__ = [
     "run_recorded_stream",
     "runner_worker_stats",
     "summarize",
+    "summary_dict",
     "telemetry_errors",
 ]
 
@@ -515,3 +516,26 @@ def summarize(
         retries=retries,
         remote=remote,
     )
+
+
+def summary_dict(summary: TelemetrySummary) -> dict[str, Any]:
+    """A JSON-ready view of a :class:`TelemetrySummary` (``repro report
+    --format json``).  Tuples become objects, pid keys become strings,
+    and a ``format`` tag versions the shape."""
+    return {
+        "format": "repro.report/1",
+        "kind": summary.kind,
+        "runs": summary.runs,
+        "outcomes": dict(sorted(summary.outcomes.items())),
+        "wall_percentiles": summary.wall_percentiles,
+        "slowest": [
+            {"index": idx, "wall_s": wall, "outcome": outcome}
+            for idx, wall, outcome in summary.slowest
+        ],
+        "workers": {
+            str(pid): row for pid, row in sorted(summary.workers.items())
+        },
+        "cache": summary.cache,
+        "retries": summary.retries,
+        "remote": summary.remote,
+    }

@@ -69,6 +69,13 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
+from ..obs import registry as metrics
+from ..obs.spans import (
+    SpanRecorder,
+    active as spans_active,
+    outcome_label,
+    recording,
+)
 from .runner import (
     DEFAULT_STREAM_WINDOW,
     SweepError,
@@ -211,7 +218,27 @@ def _apply_env(env: dict[str, str]) -> None:
             os.environ.pop(key, None)
 
 
-def _execute_chunk(jobs: Sequence[Any], cache: Any) -> list[tuple]:
+def _traced_job(trace: tuple | None, index: int, run: Any) -> Any:
+    """Execute ``run()`` inside a ``job`` span when *trace* is set.
+
+    *trace* is ``(recorder, root_span, base_index)``; cache hits never
+    come through here (a hit executes nothing, so it gets no job span —
+    documented canonicalization caveat for cached sweeps).
+    """
+    if trace is None:
+        return run()
+    recorder, root, base = trace
+    with recorder.span(
+        "job", "job", parent=root.id, attrs={"index": base + index}
+    ) as span:
+        value = run()
+        span.attrs["outcome"] = outcome_label(value)
+    return value
+
+
+def _execute_chunk(
+    jobs: Sequence[Any], cache: Any, trace: tuple | None = None
+) -> list[tuple]:
     """Run one chunk worker-side, consulting the shared cache first.
 
     Mirrors ``CachedRunner``'s per-job logic (keys via ``job_key``, one
@@ -220,9 +247,10 @@ def _execute_chunk(jobs: Sequence[Any], cache: Any) -> list[tuple]:
     outcome only — the stored payload never crosses the wire.
     """
     if cache is None:
-        from .transport import run_chunk
-
-        return [("raw", value) for value in run_chunk(jobs)]
+        return [
+            ("raw", _traced_job(trace, i, job))
+            for i, job in enumerate(jobs)
+        ]
     from ..cache.keys import job_key
 
     keys = [job_key(job) for job in jobs]
@@ -234,7 +262,7 @@ def _execute_chunk(jobs: Sequence[Any], cache: Any) -> list[tuple]:
     for i, job in enumerate(jobs):
         key = keys[i]
         if key is None:
-            items.append(("raw", job()))
+            items.append(("raw", _traced_job(trace, i, job)))
             continue
         status, payload = fetched[i]
         if status == "hit":
@@ -245,9 +273,33 @@ def _execute_chunk(jobs: Sequence[Any], cache: Any) -> list[tuple]:
         if status == "hit":
             items.append(("hit", outcome))
             continue
-        outcome, payload = job.cache_payload()
+        if trace is None:
+            outcome, payload = job.cache_payload()
+        else:
+            recorder, root, base = trace
+            with recorder.span(
+                "job", "job", parent=root.id, attrs={"index": base + i}
+            ) as span:
+                outcome, payload = job.cache_payload()
+                span.attrs["outcome"] = outcome_label(outcome)
         items.append((status, outcome, key, payload))
     return items
+
+
+def _execute_chunk_traced(
+    jobs: Sequence[Any], cache: Any, base: int
+) -> tuple[list[tuple], list[dict]]:
+    """Span-recording :func:`_execute_chunk`: one ``job`` span per
+    *executed* job under a ``chunk.exec`` root, with the recorder
+    installed thread-locally so worker-side cache batches land in it
+    too.  Returns ``(items, exported_spans)``."""
+    recorder = SpanRecorder(kind="chunk")
+    with recording(recorder):
+        with recorder.span(
+            "chunk.exec", "exec", attrs={"jobs": len(jobs)}
+        ) as root:
+            items = _execute_chunk(jobs, cache, trace=(recorder, root, base))
+    return items, recorder.export_raw()
 
 
 class _WorkerHandler(socketserver.BaseRequestHandler):
@@ -290,20 +342,31 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
                                   "busy": server.exec_lock.locked()}),
                     )
                 elif kind == "run":
-                    _kind, start, jobs = msg
+                    start, jobs = msg[1], msg[2]
+                    # Spans-off frames are 3-tuples, byte-identical to
+                    # the pre-span wire format; a 4th element carries
+                    # the span context and asks for spans back.
+                    ctx = msg[3] if len(msg) > 3 else None
                     try:
                         # One chunk at a time per worker process: sims
                         # assume they own the process-wide fiber pool,
                         # and the pool's workers are serialized the
                         # same way (one chunk per pool process).
                         with server.exec_lock:
-                            items = _execute_chunk(jobs, cache)
+                            if ctx is None:
+                                reply = ("done", start,
+                                         _execute_chunk(jobs, cache))
+                            else:
+                                items, raw_spans = _execute_chunk_traced(
+                                    jobs, cache, int(ctx.get("base", start))
+                                )
+                                reply = ("done", start, items, raw_spans)
                     except BaseException as exc:  # noqa: BLE001
                         # Application error: ship it back verbatim; the
                         # parent raises it and never retries the chunk.
                         self._send(sock, ("error", start, exc))
                         continue
-                    self._send(sock, ("done", start, items))
+                    self._send(sock, reply)
                 else:
                     self._send(sock, ("reject", f"unknown message {kind!r}"))
                     return
@@ -526,8 +589,16 @@ class RemoteRound(TransportRound):
                 continue
             start, part = self.queue[0]
             stats = self.transport.stats[_addr_str(conn.addr)]
+            recorder = spans_active()
+            if recorder is None:
+                frame_msg: tuple = ("run", start, part)
+            else:
+                frame_msg = (
+                    "run", start, part,
+                    {"base": start + recorder.index_offset},
+                )
             try:
-                sent, raw = conn.send(("run", start, part))
+                sent, raw = conn.send(frame_msg)
             except OSError:
                 self._drop(conn)
                 continue
@@ -536,6 +607,14 @@ class RemoteRound(TransportRound):
             conn.sent_at = time.monotonic()
             stats["bytes_out"] += sent
             stats["raw_out"] += raw
+            metrics.REMOTE_FRAMES.inc(direction="out")
+            metrics.REMOTE_BYTES.inc(sent, direction="out")
+            if recorder is not None:
+                recorder.event(
+                    "frame.send", "net",
+                    attrs={"kind": "run", "bytes": sent,
+                           "worker": _addr_str(conn.addr)},
+                )
 
     def pending(self) -> list[Chunk]:
         return list(self.queue) + [
@@ -566,7 +645,7 @@ class RemoteRound(TransportRound):
                 for conn in busy:
                     if (
                         now - conn.last_seen > self.transport.heartbeat
-                        and not self._alive(conn.addr)
+                        and not self._probe(conn)
                     ):
                         event = self._drop(conn)
                         if event is not None:
@@ -592,15 +671,25 @@ class RemoteRound(TransportRound):
             for msg in conn.buffer.frames():
                 events.extend(self._on_message(conn, msg))
         finally:
-            stats["bytes_in"] += conn.buffer.wire_in - wire_before
+            wire_delta = conn.buffer.wire_in - wire_before
+            stats["bytes_in"] += wire_delta
             stats["raw_in"] += conn.buffer.raw_in - raw_before
+            if wire_delta:
+                metrics.REMOTE_BYTES.inc(wire_delta, direction="in")
         return events
 
     def _on_message(self, conn: _WorkerConn, msg: tuple) -> list[ChunkEvent]:
         kind = msg[0]
         stats = self.transport.stats[_addr_str(conn.addr)]
+        recorder = spans_active()
+        metrics.REMOTE_FRAMES.inc(direction="in")
+        if recorder is not None:
+            recorder.event(
+                "frame.recv", "net",
+                attrs={"kind": str(kind), "worker": _addr_str(conn.addr)},
+            )
         if kind == "done":
-            _kind, start, items = msg
+            start, items = msg[1], msg[2]
             if conn.busy is None or conn.busy[0] != start:
                 return []  # stray reply (e.g. after a requeue); ignore
             start, part = conn.busy
@@ -608,6 +697,10 @@ class RemoteRound(TransportRound):
             stats["chunks"] += 1
             stats["jobs"] += len(part)
             stats["rtt_s"] += time.monotonic() - conn.sent_at
+            if len(msg) > 3 and recorder is not None:
+                recorder.chunk_absorb(
+                    start, msg[3], track=f"worker:{_addr_str(conn.addr)}"
+                )
             values = self._merge_items(part, items, stats)
             return [(start, part, values)]
         if kind == "error":
@@ -665,10 +758,26 @@ class RemoteRound(TransportRound):
         except OSError:
             return False
 
+    def _probe(self, conn: _WorkerConn) -> bool:
+        """Heartbeat a silent worker, with span + counter accounting."""
+        recorder = spans_active()
+        if recorder is None:
+            alive = self._alive(conn.addr)
+        else:
+            with recorder.span(
+                "heartbeat.probe", "heartbeat",
+                attrs={"worker": _addr_str(conn.addr)},
+            ) as span:
+                alive = self._alive(conn.addr)
+                span.attrs["alive"] = alive
+        metrics.REMOTE_HEARTBEATS.inc(result="alive" if alive else "dead")
+        return alive
+
     def _drop(self, conn: _WorkerConn) -> ChunkEvent | None:
         """Declare *conn*'s worker dead; surface its in-flight chunk as
         lost (the runner's retry machinery re-dispatches it)."""
         self.transport.stats[_addr_str(conn.addr)]["disconnects"] += 1
+        metrics.REMOTE_DISCONNECTS.inc()
         try:
             conn.sock.close()
         except OSError:

@@ -49,6 +49,8 @@ from dataclasses import dataclass
 from itertools import islice
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from ..obs import registry as metrics
+from ..obs.spans import SpanRecorder, active as spans_active, outcome_label
 from .transport import LocalPoolTransport, Transport, run_chunk
 
 #: A sweep job: picklable, zero-argument, returns a picklable result.
@@ -123,6 +125,11 @@ class SweepRunner:
             batch = list(islice(it, window))
             if not batch:
                 return
+            recorder = spans_active()
+            if recorder is not None:
+                # Job spans must carry campaign-global indices, but
+                # run() only sees this window; the offset bridges them.
+                recorder.index_offset = len(retries)
             results = self.run(batch)
             # run() replaced job_retries with this batch's counts; fold
             # them into the cumulative stream-wide list.
@@ -156,7 +163,29 @@ class SerialRunner(SweepRunner):
 
     def run(self, jobs: Sequence[SweepJob]) -> list[Any]:
         self.job_retries = [0] * len(jobs)
-        return [job() for job in jobs]
+        recorder = spans_active()
+        if recorder is None:
+            return [job() for job in jobs]
+        return self._run_traced(recorder, jobs)
+
+    @staticmethod
+    def _run_traced(
+        recorder: SpanRecorder, jobs: Sequence[SweepJob]
+    ) -> list[Any]:
+        base = recorder.index_offset
+        values = []
+        with recorder.span(
+            "sweep.run", "sweep", attrs={"jobs": len(jobs)}
+        ) as root:
+            for offset, job in enumerate(jobs):
+                with recorder.span(
+                    "job", "job", parent=root.id,
+                    attrs={"index": base + offset},
+                ) as span:
+                    value = job()
+                    span.attrs["outcome"] = outcome_label(value)
+                values.append(value)
+        return values
 
     def run_stream(
         self, jobs: Iterable[SweepJob], *, window: int | None = None
@@ -165,7 +194,15 @@ class SerialRunner(SweepRunner):
         retries: list[int] = []
         self.job_retries = retries
         for job in jobs:
-            result = job()
+            recorder = spans_active()
+            if recorder is None:
+                result = job()
+            else:
+                with recorder.span(
+                    "job", "job", attrs={"index": len(retries)}
+                ) as span:
+                    result = job()
+                    span.attrs["outcome"] = outcome_label(result)
             retries.append(0)
             yield result
 
@@ -205,6 +242,15 @@ class TransportRunner(SweepRunner):
         jobs = list(jobs)
         if not jobs:
             return []
+        recorder = spans_active()
+        if recorder is None:
+            return self._run(jobs, None)
+        with recorder.span("sweep.run", "sweep", attrs={"jobs": len(jobs)}):
+            return self._run(jobs, recorder)
+
+    def _run(
+        self, jobs: list[SweepJob], recorder: SpanRecorder | None
+    ) -> list[Any]:
         transport = self._transport()
         width = max(1, transport.parallelism())
         chunk = self.chunk_size or self._auto_chunk(len(jobs), width)
@@ -221,7 +267,11 @@ class TransportRunner(SweepRunner):
             # retry submissions and the exhausted-chunk raise below must
             # not depend on that order for attribution to be
             # deterministic.
-            pending = sorted(self._run_round(transport, width, pending, results))
+            pending = sorted(
+                self._run_round(transport, width, pending, results, recorder)
+            )
+            if pending:
+                metrics.SWEEP_RETRIES.inc(len(pending))
             for start, part in pending:
                 attempts[start] += 1
                 if attempts[start] > self.retries:
@@ -249,12 +299,23 @@ class TransportRunner(SweepRunner):
         width: int,
         chunks: list[tuple[int, list[SweepJob]]],
         results: list[Any],
+        recorder: SpanRecorder | None = None,
     ) -> list[tuple[int, list[SweepJob]]]:
         """Submit *chunks* on a fresh round; fill *results*; return the
         chunks that must be retried (timed out or lost in transit)."""
+        metrics.SWEEP_ROUNDS.inc()
+        round_span = None
+        if recorder is not None:
+            round_span = recorder.begin(
+                "round.run", "round",
+                attrs={"chunks": len(chunks),
+                       "jobs": sum(len(part) for _s, part in chunks)},
+            )
         round_ = transport.open_round()
         try:
             for start, part in chunks:
+                if recorder is not None:
+                    recorder.chunk_begin(start, len(part))
                 round_.submit(start, part)
             deadline_at = None
             if self.timeout is not None:
@@ -270,18 +331,29 @@ class TransportRunner(SweepRunner):
                 if deadline_at is not None:
                     remaining = deadline_at - time.monotonic()
                     if remaining <= 0:  # budget exhausted, jobs still running
-                        failed.extend(round_.pending())
+                        failed.extend(
+                            self._lose(round_.pending(), recorder)
+                        )
                         round_.abandon()
                         return failed
                 for start, part, values in round_.wait(remaining):
                     if values is None:
                         failed.append((start, part))
+                        if recorder is not None:
+                            recorder.chunk_end(start, "lost")
+                        metrics.SWEEP_CHUNKS.inc(status="lost")
                     else:
                         for k, value in enumerate(values):
                             results[start + k] = value
+                        if recorder is not None:
+                            dispatch = recorder.chunk_end(start, "done")
+                            if dispatch is not None:
+                                recorder.chunk_merge(dispatch)
+                        metrics.SWEEP_CHUNKS.inc(status="done")
+                        metrics.SWEEP_JOBS.inc(len(values))
                 if round_.broken:
                     # No capacity left; everything unfinished is lost.
-                    failed.extend(round_.pending())
+                    failed.extend(self._lose(round_.pending(), recorder))
                     round_.abandon()
                     return failed
             round_.close()
@@ -291,6 +363,22 @@ class TransportRunner(SweepRunner):
             # workers instead of awaiting them, then propagate.
             round_.abandon()
             raise
+        finally:
+            if round_span is not None:
+                recorder.end(round_span)
+
+    @staticmethod
+    def _lose(
+        chunks: list[tuple[int, list[SweepJob]]],
+        recorder: SpanRecorder | None,
+    ) -> list[tuple[int, list[SweepJob]]]:
+        """Account chunks abandoned in-flight (timeout/broken round)."""
+        if chunks:
+            metrics.SWEEP_CHUNKS.inc(len(chunks), status="lost")
+        if recorder is not None:
+            for start, _part in chunks:
+                recorder.chunk_end(start, "lost")
+        return chunks
 
 
 @dataclass

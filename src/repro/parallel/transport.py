@@ -31,9 +31,12 @@ cannot poison the retry.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
+
+from ..obs.spans import SpanRecorder, active as spans_active, outcome_label, recording
 
 #: A sweep job as the transport sees it (re-declared here to avoid a
 #: circular import with :mod:`repro.parallel.runner`).
@@ -55,6 +58,36 @@ def run_chunk(jobs: Sequence[SweepJob]) -> list[Any]:
     callable, the socket worker calls it on received chunks.
     """
     return [job() for job in jobs]
+
+
+def run_chunk_traced(
+    jobs: Sequence[SweepJob], base: int = 0
+) -> tuple[list[Any], list[dict], int]:
+    """Span-recording variant of :func:`run_chunk`, submitted instead of
+    it when the parent has an active recorder.
+
+    Runs with a fresh worker-local recorder (never the recorder a fork
+    may have inherited) and returns
+    ``(values, exported_spans, worker_pid)``: one ``job`` span per job,
+    carrying the campaign-global index (``base`` + offset) and the
+    outcome class, under a ``chunk.exec`` root the parent re-anchors
+    onto this worker's track.
+    """
+    recorder = SpanRecorder(kind="chunk")
+    with recording(recorder):
+        with recorder.span(
+            "chunk.exec", "exec", attrs={"jobs": len(jobs)}
+        ) as root:
+            values = []
+            for offset, job in enumerate(jobs):
+                with recorder.span(
+                    "job", "job", parent=root.id,
+                    attrs={"index": base + offset},
+                ) as span:
+                    value = job()
+                    span.attrs["outcome"] = outcome_label(value)
+                values.append(value)
+    return values, recorder.export_raw(), os.getpid()
 
 
 class TransportRound:
@@ -166,9 +199,17 @@ class LocalPoolRound(TransportRound):
         self.broken = False
         self._futures: dict[Future, Chunk] = {}
         self._not_done: set[Future] = set()
+        self._traced: set[Future] = set()
 
     def submit(self, start: int, jobs: list) -> None:
-        fut = self.executor.submit(run_chunk, jobs)
+        recorder = spans_active()
+        if recorder is None:
+            fut = self.executor.submit(run_chunk, jobs)
+        else:
+            fut = self.executor.submit(
+                run_chunk_traced, jobs, start + recorder.index_offset
+            )
+            self._traced.add(fut)
         self._futures[fut] = (start, jobs)
         self._not_done.add(fut)
 
@@ -184,7 +225,15 @@ class LocalPoolRound(TransportRound):
             start, part = self._futures[fut]
             exc = fut.exception()
             if exc is None:
-                events.append((start, part, fut.result()))
+                values = fut.result()
+                if fut in self._traced:
+                    values, raw_spans, worker_pid = values
+                    recorder = spans_active()
+                    if recorder is not None:
+                        recorder.chunk_absorb(
+                            start, raw_spans, track=f"pid:{worker_pid}"
+                        )
+                events.append((start, part, values))
             elif isinstance(exc, BrokenProcessPool):
                 # The pool is dead; everything unfinished is lost too.
                 events.append((start, part, None))

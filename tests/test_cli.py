@@ -198,6 +198,31 @@ class TestReportCommand:
         assert rc == 1
         assert "INVALID" in err
 
+    def test_json_format_matches_text_aggregates(self, capsys, tmp_path):
+        import json
+
+        path = self._telemetry(tmp_path)
+        capsys.readouterr()
+        rc = main(["report", "--format", "json", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        (line,) = out.splitlines()
+        doc = json.loads(line)
+        assert doc["format"] == "repro.report/1"
+        assert doc["kind"] == "campaign"
+        assert doc["runs"] == 6
+        assert sum(doc["outcomes"].values()) == 6
+        assert set(doc["wall_percentiles"]) == {"p50", "p90", "p99", "max"}
+        assert len(doc["slowest"]) == 5
+        assert {"index", "wall_s", "outcome"} <= doc["slowest"][0].keys()
+        assert doc["cache"]["uncached"] == 6
+        # Same aggregates the text mode prints, machine-readable.
+        from repro.obs import read_telemetry, summarize, summary_dict
+
+        assert doc == json.loads(json.dumps(
+            summary_dict(summarize(read_telemetry(path), top=5))
+        ))
+
 
 class TestTraceViewFlags:
     def test_ring_failure_story(self, capsys):

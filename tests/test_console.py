@@ -1,0 +1,139 @@
+"""The live campaign console (``repro top``): tail-tolerant telemetry
+reads, dashboard rendering, and the follow loop's completion logic.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from repro.faults import run_campaign
+from repro.obs.console import read_telemetry_tail, render_top, top
+from repro.obs.telemetry import TELEMETRY_FORMAT
+from repro.parallel import RemoteRunner, WorkerServer
+from tests.conftest import (
+    RING_INVARIANTS as INVARIANTS,
+    RING_SCENARIO as SCENARIO,
+)
+
+
+def _campaign(runner=None, **kw):
+    return run_campaign(
+        SCENARIO,
+        seeds=range(6),
+        horizon=8e-6,
+        invariants=INVARIANTS,
+        runner=runner,
+        **kw,
+    )
+
+
+def _telemetry(tmp_path, runner=None):
+    log = tmp_path / "tel.jsonl"
+    _campaign(runner=runner, telemetry=str(log))
+    return log
+
+
+class TestTailReader:
+    def test_missing_file_and_wrong_header_give_empty(self, tmp_path):
+        assert read_telemetry_tail(tmp_path / "nope.jsonl") == []
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format":"something-else"}\n')
+        assert read_telemetry_tail(bad) == []
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        log = _telemetry(tmp_path)
+        whole = len(read_telemetry_tail(log))
+        log.write_text(log.read_text() + '{"kind":"job","ind')
+        assert len(read_telemetry_tail(log)) == whole
+
+
+class TestRenderTop:
+    def test_dashboard_sections(self, tmp_path):
+        records = read_telemetry_tail(_telemetry(tmp_path))
+        text = render_top(records)
+        assert "repro top — campaign sweep" in text
+        assert "6/6 (100%)" in text
+        assert "eta done" in text
+        assert "ok               6" in text
+        assert "job wall   p50=" in text
+        assert "cache      off" in text
+        assert "retries    0" in text
+        assert "workers (local pids)" in text
+        assert "slowest 3" in text
+
+    def test_partial_stream_shows_progress_and_eta(self, tmp_path):
+        log = _telemetry(tmp_path)
+        records = read_telemetry_tail(log)
+        partial = records[:1] + [
+            r for r in records[1:] if r.get("kind") == "job"
+        ][:3]
+        text = render_top(partial)
+        assert "3/6 (50%)" in text
+        assert "eta done" not in text
+
+    def test_remote_worker_table(self, tmp_path):
+        server = WorkerServer(("127.0.0.1", 0))
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        try:
+            log = _telemetry(
+                tmp_path, runner=RemoteRunner(addresses=[server.address])
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        text = render_top(read_telemetry_tail(log))
+        assert "workers (remote transport)" in text
+        assert f"{server.address[0]}:{server.address[1]}" in text
+        assert "rtt ms" in text and "wire B" in text
+
+
+class TestTopLoop:
+    def test_one_shot_renders_and_exits_zero(self, tmp_path):
+        out = io.StringIO()
+        assert top(_telemetry(tmp_path), out=out) == 0
+        assert "repro top — campaign sweep" in out.getvalue()
+
+    def test_one_shot_missing_file_exits_one(self, tmp_path):
+        out = io.StringIO()
+        assert top(tmp_path / "nope.jsonl", out=out) == 1
+        assert "waiting for telemetry" in out.getvalue()
+
+    def test_follow_exits_when_stream_completes(self, tmp_path):
+        log = _telemetry(tmp_path)
+        full = log.read_text()
+        lines = full.splitlines(keepends=True)
+        header = json.loads(lines[0])
+        assert header["format"] == TELEMETRY_FORMAT
+        log.write_text("".join(lines[:3]))  # mid-campaign snapshot
+
+        def grow(_interval):
+            log.write_text(full)  # the campaign "finishes" between paints
+
+        out = io.StringIO()
+        assert top(log, follow=True, out=out, sleep=grow) == 0
+        assert out.getvalue().count("repro top — campaign sweep") == 2
+
+    def test_follow_interrupt_exits_zero(self, tmp_path):
+        log = _telemetry(tmp_path)
+        lines = log.read_text().splitlines(keepends=True)
+        log.write_text("".join(lines[:3]))  # never completes
+
+        def interrupt(_interval):
+            raise KeyboardInterrupt
+
+        assert top(log, follow=True, out=io.StringIO(), sleep=interrupt) == 0
+
+    def test_cli_top_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log = _telemetry(tmp_path)
+        assert main(["top", "--telemetry", str(log)]) == 0
+        assert "repro top — campaign sweep" in capsys.readouterr().out

@@ -1,0 +1,291 @@
+"""The metrics registry: instrument semantics, Prometheus text
+exposition, telemetry-derived registries, the live pipeline counters,
+and the ``repro metrics serve`` scrape endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.faults import run_campaign
+from repro.obs.registry import (
+    EXPOSITION_CONTENT_TYPE,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+    registry_from_telemetry,
+)
+from repro.parallel import ProcessPoolRunner, WorkerServer
+from tests.conftest import (
+    RING_INVARIANTS as INVARIANTS,
+    RING_SCENARIO as SCENARIO,
+)
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+
+class TestInstruments:
+    def test_counter_accumulates_per_label_tuple(self):
+        c = Counter("x_total", labels=("status",))
+        c.inc(status="done")
+        c.inc(2, status="done")
+        c.inc(status="lost")
+        assert c.value(status="done") == 3
+        assert c.value(status="lost") == 1
+        assert c.value(status="never") == 0
+
+    def test_counter_rejects_negative_and_wrong_labels(self):
+        c = Counter("x_total", labels=("status",))
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1, status="done")
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(1)
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(1, status="done", extra="nope")
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge("depth")
+        g.set(4.5)
+        g.inc(-2.5)
+        assert g.value() == 2.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = Histogram("wall_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert dict(h.samples()) == {
+            'wall_seconds_bucket{le="0.1"}': 1,
+            'wall_seconds_bucket{le="1"}': 3,
+            'wall_seconds_bucket{le="+Inf"}': 4,
+            "wall_seconds_sum": 6.05,
+            "wall_seconds_count": 4,
+        }
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("bad name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            Counter("ok_total", labels=("bad-label",))
+
+
+# ---------------------------------------------------------------------------
+# Registry + exposition
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent_but_type_strict(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total")
+        assert reg.counter("x_total") is a
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        c = reg.counter("b_total", "things done", labels=("kind",))
+        c.inc(2, kind='we"ird')
+        reg.gauge("a_value").set(1.5)
+        assert reg.exposition() == (
+            "# TYPE a_value gauge\n"  # no help -> no HELP line
+            "a_value 1.5\n"
+            "# HELP b_total things done\n"
+            "# TYPE b_total counter\n"
+            'b_total{kind="we\\"ird"} 2\n'
+        )
+
+    def test_reset_zeroes_series(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc(5)
+        reg.reset()
+        assert reg.counter("x_total").value() == 0
+
+
+# ---------------------------------------------------------------------------
+# Pipeline instrumentation feeds the global registry
+# ---------------------------------------------------------------------------
+
+
+def _campaign(runner=None, **kw):
+    return run_campaign(
+        SCENARIO,
+        seeds=range(6),
+        horizon=8e-6,
+        invariants=INVARIANTS,
+        runner=runner,
+        **kw,
+    )
+
+
+class TestPipelineCounters:
+    def test_pooled_campaign_increments_sweep_counters(self):
+        from repro.obs.registry import SWEEP_CHUNKS, SWEEP_JOBS, SWEEP_ROUNDS
+
+        jobs0 = SWEEP_JOBS.value()
+        chunks0 = SWEEP_CHUNKS.value(status="done")
+        rounds0 = SWEEP_ROUNDS.value()
+        _campaign(runner=ProcessPoolRunner(workers=2))
+        assert SWEEP_JOBS.value() - jobs0 == 6
+        assert SWEEP_CHUNKS.value(status="done") > chunks0
+        assert SWEEP_ROUNDS.value() > rounds0
+
+    def test_remote_campaign_counts_frames_and_bytes(self):
+        from repro.obs.registry import REMOTE_BYTES, REMOTE_FRAMES
+        from repro.parallel import RemoteRunner
+
+        server = WorkerServer(("127.0.0.1", 0))
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        try:
+            out0 = REMOTE_FRAMES.value(direction="out")
+            in0 = REMOTE_FRAMES.value(direction="in")
+            bytes0 = REMOTE_BYTES.value(direction="out")
+            _campaign(runner=RemoteRunner(addresses=[server.address]))
+            assert REMOTE_FRAMES.value(direction="out") > out0
+            assert REMOTE_FRAMES.value(direction="in") > in0
+            assert REMOTE_BYTES.value(direction="out") > bytes0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_cache_lookups_counted(self, tmp_path):
+        from repro.cache import RunCache
+        from repro.obs.registry import CACHE_LOOKUPS, CACHE_STORES
+
+        miss0 = CACHE_LOOKUPS.value(result="miss")
+        hit0 = CACHE_LOOKUPS.value(result="hit")
+        stores0 = CACHE_STORES.value()
+        _campaign(cache=RunCache(tmp_path / "cache"))
+        assert CACHE_LOOKUPS.value(result="miss") - miss0 == 6
+        assert CACHE_STORES.value() - stores0 == 6
+        _campaign(cache=RunCache(tmp_path / "cache"))
+        assert CACHE_LOOKUPS.value(result="hit") - hit0 == 6
+
+
+# ---------------------------------------------------------------------------
+# Telemetry-derived registries
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryRegistry:
+    def test_registry_from_campaign_telemetry(self, tmp_path):
+        log = tmp_path / "tel.jsonl"
+        _campaign(telemetry=str(log))
+        text = registry_from_telemetry(log).exposition()
+        assert 'repro_sweep_jobs_total{outcome="ok"} 6' in text
+        assert "repro_sweep_runs 6" in text
+        assert "repro_job_wall_seconds_histogram_count 6" in text
+        assert 'repro_cache_lookups_total{result="hit"} 0' in text
+        assert "repro_cache_uncached_jobs_total 6" in text
+
+    def test_remote_rows_become_per_worker_series(self, tmp_path):
+        from repro.parallel import RemoteRunner
+
+        server = WorkerServer(("127.0.0.1", 0))
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        try:
+            log = tmp_path / "tel.jsonl"
+            _campaign(
+                runner=RemoteRunner(addresses=[server.address]),
+                telemetry=str(log),
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        text = registry_from_telemetry(log).exposition()
+        worker = f"{server.address[0]}:{server.address[1]}"
+        assert f'repro_remote_jobs_total{{worker="{worker}"}} 6' in text
+        assert (
+            f'repro_remote_bytes_total{{worker="{worker}",direction="out"}}'
+            in text
+        )
+        assert f'repro_remote_chunks_total{{worker="{worker}"}}' in text
+
+
+# ---------------------------------------------------------------------------
+# Scrape endpoint
+# ---------------------------------------------------------------------------
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+class TestMetricsServer:
+    @pytest.fixture
+    def served(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "things").inc(3)
+        server = MetricsServer(("127.0.0.1", 0), registry=reg)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.address
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def test_metrics_endpoint(self, served):
+        status, ctype, body = _get(served + "/metrics")
+        assert status == 200
+        assert ctype == EXPOSITION_CONTENT_TYPE
+        assert b"x_total 3" in body
+
+    def test_healthz_endpoint(self, served):
+        status, ctype, body = _get(served + "/healthz")
+        assert status == 200
+        assert ctype == "application/json"
+        assert json.loads(body) == {
+            "status": "ok", "service": "repro-metrics"
+        }
+
+    def test_unknown_path_is_404(self, served):
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(served + "/nope")
+        assert exc.value.code == 404
+
+    def test_telemetry_mode_follows_the_file(self, tmp_path):
+        log = tmp_path / "tel.jsonl"
+        _campaign(telemetry=str(log))
+        server = MetricsServer(("127.0.0.1", 0), telemetry=str(log))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.address
+            _, _, body = _get(f"http://{host}:{port}/metrics")
+            assert b'repro_sweep_jobs_total{outcome="ok"} 6' in body
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_default_serves_the_global_registry(self):
+        server = MetricsServer(("127.0.0.1", 0))
+        try:
+            assert server.exposition() == REGISTRY.exposition()
+        finally:
+            server.server_close()

@@ -360,6 +360,65 @@ class TestDeadWorkerRecovery:
         assert sum(runner.job_retries) > 0
         assert sum(s["disconnects"] for s in runner.worker_stats()) >= 1
 
+    def test_streamed_death_keeps_telemetry_and_spans_canonical(
+        self, subprocess_workers, tmp_path
+    ):
+        # Satellite of the observability PR: when a worker dies during
+        # a *streamed* campaign, the telemetry stream must stay valid
+        # (worker lines recording the disconnect included) and the span
+        # stream must stay valid with the canonical job spans identical
+        # to a serial run — the lost chunk's jobs land exactly once, on
+        # the retry.
+        from repro.obs.spans import (
+            SpanRecorder,
+            canonical_spans,
+            recording,
+            span_errors,
+        )
+        from repro.obs.telemetry import read_telemetry, telemetry_errors
+
+        factory = PoisonFactory(
+            scenario=SCENARIO, sentinel=str(tmp_path / "poisoned")
+        )
+        serial_rec = SpanRecorder(kind="campaign")
+        with recording(serial_rec):
+            serial = _campaign(factory=factory)
+
+        log = tmp_path / "remote.jsonl"
+        runner = RemoteRunner(
+            addresses=subprocess_workers, chunk_size=1, retries=2
+        )
+        remote_rec = SpanRecorder(kind="campaign")
+        with recording(remote_rec):
+            remote = _campaign(
+                runner=runner,
+                factory=factory,
+                stream=True,
+                stream_window=2,
+                telemetry=str(log),
+            )
+        assert (tmp_path / "poisoned").exists(), "no worker was killed"
+        assert serial.format() == remote.format()
+        assert sum(runner.job_retries) > 0
+        # Telemetry: valid, with per-worker rows carrying the disconnect.
+        assert telemetry_errors(log) == []
+        workers = [
+            r for r in read_telemetry(log) if r.get("kind") == "worker"
+        ]
+        assert len(workers) == 2
+        assert sum(w["disconnects"] for w in workers) >= 1
+        # Spans: valid, and canonically identical to the serial sweep.
+        assert span_errors(remote_rec) == []
+        assert span_errors(serial_rec) == []
+        assert canonical_spans(remote_rec) == canonical_spans(serial_rec)
+        # The death is visible in the span stream itself: at least one
+        # dispatch closed as lost.
+        lost = [
+            s for s in remote_rec.spans
+            if s.cat == "chunk" and s.attrs.get("status") == "lost"
+        ]
+        assert lost
+
     def test_dead_at_connect_worker_is_skipped(self, subprocess_workers):
         # A worker that is already gone when the round opens simply
         # never joins; the survivor does all the work.
@@ -489,6 +548,47 @@ class TestRemoteCli:
         addr = f"{worker_addr[0]}:{worker_addr[1]}"
         assert main(["worker", "ping", addr]) == 0
         assert f"[worker] {addr} pid=" in capsys.readouterr().out
+
+    def test_worker_ping_heartbeat_interval_flag(self, worker_addr, capsys):
+        from repro.cli import main
+
+        addr = f"{worker_addr[0]}:{worker_addr[1]}"
+        assert main(
+            ["worker", "ping", addr, "--heartbeat-interval", "1.5"]
+        ) == 0
+        assert f"[worker] {addr} pid=" in capsys.readouterr().out
+
+    def test_transport_timing_flags_reach_the_runner(self):
+        from repro.cli import _sweep_runner, build_parser
+
+        args = build_parser().parse_args([
+            "campaign", "--runs", "2", "--transport", "remote",
+            "--workers-addr", "127.0.0.1:7777",
+            "--heartbeat-interval", "0.25", "--connect-timeout", "1.5",
+        ])
+        runner = _sweep_runner(args)
+        assert runner.heartbeat == 0.25
+        assert runner.connect_timeout == 1.5
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["campaign", "--runs", "2", "--heartbeat-interval", "0"],
+            ["campaign", "--runs", "2", "--heartbeat-interval", "nan"],
+            ["campaign", "--runs", "2", "--heartbeat-interval", "inf"],
+            ["campaign", "--runs", "2", "--connect-timeout", "-1"],
+            ["campaign", "--runs", "2", "--connect-timeout", "soon"],
+            ["worker", "ping", "127.0.0.1:7777",
+             "--heartbeat-interval", "0"],
+        ],
+    )
+    def test_timing_flags_validated_at_parse_time(self, argv, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(argv)
+        err = capsys.readouterr().err
+        assert "must be a finite number > 0" in err or "is not a number" in err
 
     def test_worker_ping_unreachable(self, capsys):
         from repro.cli import main
